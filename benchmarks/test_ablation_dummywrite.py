@@ -1,0 +1,147 @@
+"""Ablations over MobiCeal's design choices (DESIGN.md Sec. 5).
+
+Not a paper table — these benches quantify the knobs the paper discusses
+qualitatively:
+
+* the dummy-write rate lambda: write overhead should grow as lambda
+  shrinks (bigger mean bursts);
+* random vs sequential allocation: random allocation destroys the spatial
+  clustering a multi-snapshot adversary exploits (Sec. IV-B);
+* garbage collection: reclaims most (but never all) dummy space.
+"""
+
+import pytest
+
+from repro.adversary import analyze_changes
+from repro.android import Phone
+from repro.bench.reporting import render_table
+from repro.bench.workloads import sequential_write
+from repro.blockdev import capture
+from repro.core import MobiCealConfig, MobiCealSystem
+
+DECOY, HIDDEN = "decoy-pw", "hidden-pw"
+
+
+def build_system(seed=0, **cfg):
+    cfg.setdefault("num_volumes", 6)
+    phone = Phone(seed=seed, userdata_blocks=16384)
+    system = MobiCealSystem(phone, MobiCealConfig(**cfg))
+    phone.framework.power_on()
+    system.initialize(DECOY, hidden_passwords=(HIDDEN,))
+    system.boot_with_password(DECOY)
+    return phone, system
+
+
+def write_throughput(seed: int, **cfg) -> float:
+    """Mean MC-P sequential write MB/s over several stored_rand periods."""
+    samples = []
+    for trial in range(6):
+        phone, system = build_system(seed=seed * 100 + trial, **cfg)
+        sample = sequential_write(
+            system.userdata_fs, phone.clock, "/t.bin", 2 * 1024 * 1024
+        )
+        samples.append(sample.mb_per_second)
+    return sum(samples) / len(samples)
+
+
+@pytest.fixture(scope="module")
+def rate_sweep():
+    return {
+        rate: write_throughput(seed=31, dummy_rate=rate)
+        for rate in (0.5, 1.0, 2.0, 4.0)
+    }
+
+
+def test_ablation_dummy_rate(benchmark, rate_sweep, save_result):
+    """Smaller lambda -> bigger bursts -> lower write throughput."""
+    benchmark.pedantic(
+        lambda: write_throughput(seed=32, dummy_rate=1.0),
+        rounds=1, iterations=1,
+    )
+    baseline = write_throughput(seed=33, dummy_writes_enabled=False)
+    rows = [["disabled", f"{baseline:.2f}", "0.0%"]]
+    for rate, mb_s in sorted(rate_sweep.items()):
+        rows.append(
+            [f"lambda={rate:g}", f"{mb_s:.2f}",
+             f"{100 * (1 - mb_s / baseline):.1f}%"]
+        )
+    save_result(
+        "ablation_dummy_rate",
+        "Ablation — dummy-write rate vs sequential write throughput\n"
+        + render_table(["config", "MB/s", "overhead"], rows),
+    )
+    benchmark.extra_info["rate_sweep_mb_s"] = rate_sweep
+
+    # monotone-ish: lambda 0.5 (mean burst 2) costs more than lambda 4
+    assert rate_sweep[0.5] < rate_sweep[4.0]
+    # everything costs less than half of the no-dummy baseline's throughput
+    for mb_s in rate_sweep.values():
+        assert mb_s > 0.5 * baseline
+
+
+def test_ablation_allocation_strategy(benchmark, save_result):
+    """Random allocation removes the spatial-clustering signal.
+
+    With sequential allocation, a hidden file lands as one long run of
+    consecutive changed blocks; with random allocation the same file
+    scatters into many short runs.
+    """
+
+    def longest_hidden_run(allocation: str, seed: int) -> int:
+        phone, system = build_system(seed=seed, allocation=allocation)
+        system.start_framework()
+        system.sync()
+        before = capture(phone.userdata)
+        system.screenlock.enter_password(HIDDEN)
+        system.store_file("/secret/footage.bin", b"v" * (64 * 4096))
+        system.sync()
+        after = capture(phone.userdata)
+        return analyze_changes(before, after).longest_run
+
+    benchmark.pedantic(lambda: longest_hidden_run("random", 41),
+                       rounds=1, iterations=1)
+    sequential_run = max(longest_hidden_run("sequential", 42 + i) for i in range(3))
+    random_run = max(longest_hidden_run("random", 45 + i) for i in range(3))
+    save_result(
+        "ablation_allocation",
+        "Ablation — longest run of consecutive changed blocks after a "
+        "64-block hidden write\n"
+        + render_table(
+            ["allocation", "longest run"],
+            [["sequential", str(sequential_run)], ["random", str(random_run)]],
+        ),
+    )
+    assert sequential_run >= 24, "sequential allocation should cluster"
+    assert random_run <= 12, "random allocation should scatter"
+    assert sequential_run > 2 * random_run
+
+
+def test_ablation_gc_reclaim(benchmark, save_result):
+    """GC reclaims a large fraction of dummy space but (w.h.p.) not all."""
+
+    def run_gc_once(seed: int):
+        phone, system = build_system(seed=seed)
+        system.start_framework()
+        # generate plenty of dummy traffic
+        for i in range(30):
+            system.store_file(f"/f{i}.bin", bytes([i]) * 16384)
+        system.screenlock.enter_password(HIDDEN)
+        return system.run_gc()
+
+    benchmark.pedantic(lambda: run_gc_once(51), rounds=1, iterations=1)
+    results = [run_gc_once(60 + i) for i in range(8)]
+    examined = sum(r.blocks_examined for r in results)
+    reclaimed = sum(r.blocks_reclaimed for r in results)
+    rows = [[f"run {i}", str(r.blocks_examined), str(r.blocks_reclaimed),
+             f"{r.fraction_targeted:.2f}"] for i, r in enumerate(results)]
+    save_result(
+        "ablation_gc",
+        "Ablation — GC reclaim per run\n"
+        + render_table(["run", "examined", "reclaimed", "target fraction"],
+                       rows),
+    )
+    assert examined > 0
+    # aggregate reclaim matches the Beta(5,1) mean of ~0.83
+    assert 0.5 < reclaimed / examined <= 1.0
+    # at least one run left dummies behind (never-reclaim-everything)
+    assert any(r.blocks_reclaimed < r.blocks_examined for r in results)

@@ -1,0 +1,110 @@
+"""Fig. 4 — sequential throughput across Android / A-T-P / A-T-H / MC-P / MC-H.
+
+Paper (Nexus 4, dd + Bonnie++, KB/s):
+* thin provisioning costs ~18 % on reads, little on writes;
+* MobiCeal's modified kernel costs ~18 % on writes (dummy writes + random
+  allocation), little on reads;
+* dd and Bonnie++ agree.
+
+Shape assertions below encode exactly those relations.
+"""
+
+import pytest
+
+from repro.bench import FIG4_SETTINGS, render_fig4, run_fig4
+
+TRIALS = 10
+FILE_BYTES = 4 * 1024 * 1024
+USERDATA_BLOCKS = 32768  # 128 MiB simulated userdata
+
+
+@pytest.fixture(scope="module")
+def fig4_results():
+    return run_fig4(
+        settings=FIG4_SETTINGS,
+        trials=TRIALS,
+        file_bytes=FILE_BYTES,
+        userdata_blocks=USERDATA_BLOCKS,
+        seed=1,
+    )
+
+
+def test_fig4_throughput(benchmark, fig4_results, save_result):
+    """Regenerate Fig. 4 and check its qualitative shape."""
+    benchmark.pedantic(
+        lambda: run_fig4(trials=1, file_bytes=FILE_BYTES,
+                         userdata_blocks=USERDATA_BLOCKS, seed=2),
+        rounds=1, iterations=1,
+    )
+    results = fig4_results
+    save_result("fig4_throughput", render_fig4(results))
+    benchmark.extra_info["fig4_kb_s"] = {
+        setting: {metric: s.mean for metric, s in metrics.items()}
+        for setting, metrics in results.items()
+    }
+
+    android = results["android"]
+    atp = results["a-t-p"]
+    ath = results["a-t-h"]
+    mcp = results["mc-p"]
+    mch = results["mc-h"]
+
+    # Thin provisioning reduces READ throughput by ~18% (paper Sec. VI-B)
+    read_drop = 1 - atp["dd-Read"].mean / android["dd-Read"].mean
+    assert 0.08 < read_drop < 0.30, f"thin read overhead {read_drop:.0%}"
+
+    # ... but has little influence on writes
+    write_drop_thin = 1 - atp["dd-Write"].mean / android["dd-Write"].mean
+    assert write_drop_thin < 0.12, f"thin write overhead {write_drop_thin:.0%}"
+
+    # MobiCeal's modified kernel reduces WRITE throughput by ~18%
+    write_drop_mc = 1 - mcp["dd-Write"].mean / android["dd-Write"].mean
+    assert 0.08 < write_drop_mc < 0.40, f"MobiCeal write overhead {write_drop_mc:.0%}"
+
+    # ... but has little influence on reads beyond the thin layer
+    assert mcp["dd-Read"].mean == pytest.approx(atp["dd-Read"].mean, rel=0.10)
+
+    # public and hidden volumes perform alike in both stacks
+    assert ath["dd-Write"].mean == pytest.approx(atp["dd-Write"].mean, rel=0.10)
+    assert mch["dd-Write"].mean == pytest.approx(mcp["dd-Write"].mean, rel=0.15)
+
+    # Bonnie++ agrees with dd (same ordering)
+    assert mcp["B-Write"].mean < android["B-Write"].mean
+    assert atp["B-Read"].mean < android["B-Read"].mean
+
+
+def test_fig4_mobiceal_write_variance_is_deniability(fig4_results):
+    """MC write throughput varies across periods: the dummy-write rate is
+    drawn from stored_rand per period, which is itself part of why the
+    adversary cannot build a baseline (Sec. IV-B)."""
+    mcp = fig4_results["mc-p"]
+    android = fig4_results["android"]
+    assert mcp["dd-Write"].stdev > android["dd-Write"].stdev
+
+
+def test_fig4_char_tests_cpu_bound_everywhere(benchmark, save_result):
+    """Bonnie's per-character tests are CPU-bound, so — as the paper notes —
+    "the CPU overhead results are similar in all operation cases": the
+    storage stack underneath barely shifts putc/getc throughput."""
+    from repro.bench import bonnie_char_read, bonnie_char_write
+    from repro.bench.stacks import build_fig4_stack
+    from repro.bench.reporting import render_table
+
+    def char_rates(setting: str):
+        stack = build_fig4_stack(setting, seed=8, userdata_blocks=16384)
+        w = bonnie_char_write(stack.fs, stack.clock, "/c.bin", 1024 * 1024)
+        r = bonnie_char_read(stack.fs, stack.clock, "/c.bin")
+        return w.kb_per_second, r.kb_per_second
+
+    benchmark.pedantic(lambda: char_rates("android"), rounds=1, iterations=1)
+    rates = {s: char_rates(s) for s in ("android", "a-t-p", "mc-p")}
+    rows = [[s, f"{w:,.0f}", f"{r:,.0f}"] for s, (w, r) in rates.items()]
+    save_result(
+        "fig4_char_cpu",
+        "Fig. 4 companion — Bonnie per-char throughput in KB/s (CPU-bound)\n"
+        + render_table(["setting", "putc", "getc"], rows),
+    )
+    writes = [w for w, _ in rates.values()]
+    reads = [r for _, r in rates.values()]
+    assert max(writes) / min(writes) < 1.30
+    assert max(reads) / min(reads) < 1.30

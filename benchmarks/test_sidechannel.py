@@ -1,0 +1,95 @@
+"""The side-channel attack of Sec. IV-D (Czeskis et al., ref. [23]).
+
+The paper claims MobiCeal is free from the tattling-OS side channel
+because it unmounts the public volume, /cache and /devlog before the
+hidden volume appears, overlays tmpfs, and clears RAM via one-way
+switching. This bench runs the literal attack — grep raw images of every
+medium for hidden file names, inspect RAM — against:
+
+* MobiCeal (expected: zero leakage);
+* a non-isolating strawman (expected: hidden paths in /cache + /devlog);
+* a two-way-switching strawman (expected: hidden paths in RAM).
+"""
+
+import pytest
+
+from repro.adversary import side_channel_attack
+from repro.android import Phone
+from repro.bench.reporting import render_table
+from repro.core import MobiCealConfig, MobiCealSystem
+
+DECOY, HIDDEN = "decoy-pw", "hidden-pw"
+HIDDEN_PATHS = [
+    "/secret/source_list.txt",
+    "/secret/footage.mp4",
+]
+
+
+def run_scenario(isolate: bool, one_way: bool, seed: int):
+    phone = Phone(seed=seed, userdata_blocks=4096)
+    system = MobiCealSystem(
+        phone,
+        MobiCealConfig(
+            num_volumes=4,
+            isolate_side_channels=isolate,
+            one_way_switching=one_way,
+        ),
+    )
+    phone.framework.power_on()
+    system.initialize(DECOY, hidden_passwords=(HIDDEN,))
+    system.boot_with_password(DECOY)
+    system.start_framework()
+    system.store_file("/public/report.txt", b"weather notes")
+    system.screenlock.enter_password(HIDDEN)
+    for path in HIDDEN_PATHS:
+        system.store_file(path, b"sensitive payload " * 10)
+    if one_way:
+        system.reboot()
+        system.boot_with_password(DECOY)
+        system.start_framework()
+    else:
+        system.switch_to_public_unsafe(DECOY)
+    return side_channel_attack(phone, HIDDEN_PATHS)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        "MobiCeal": run_scenario(isolate=True, one_way=True, seed=21),
+        "no-isolation strawman": run_scenario(isolate=False, one_way=True, seed=22),
+        "two-way-switch strawman": run_scenario(isolate=True, one_way=False, seed=23),
+    }
+
+
+def test_sidechannel_attack(benchmark, reports, save_result):
+    benchmark.pedantic(
+        lambda: run_scenario(isolate=True, one_way=True, seed=24),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            name,
+            "yes" if r.on_disk_leak else "no",
+            "yes" if r.ram_hits else "no",
+            r.describe()[:70],
+        ]
+        for name, r in reports.items()
+    ]
+    save_result(
+        "sidechannel",
+        "Side-channel attack results\n"
+        + render_table(["system", "disk leak", "RAM leak", "detail"], rows),
+    )
+    benchmark.extra_info["leaks"] = {
+        name: r.any_leak for name, r in reports.items()
+    }
+
+    assert not reports["MobiCeal"].any_leak
+    assert reports["no-isolation strawman"].on_disk_leak
+    assert reports["two-way-switch strawman"].ram_hits
+
+
+def test_mobiceal_leaks_nothing_even_for_many_paths(reports):
+    r = reports["MobiCeal"]
+    assert not r.userdata_hits and not r.cache_hits and not r.devlog_hits
+    assert not r.ram_hits

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Multi-level deniability: several hidden volumes, graduated disclosure.
+
+Run with::
+
+    python examples/multilevel_deniability.py
+
+The extended MobiCeal scheme (Sec. IV-C): n thin volumes, each hidden
+password protecting its own hidden volume whose index is derived as
+``k = (PBKDF2(pwd, salt) mod (n-1)) + 2``. A user under escalating
+coercion can reveal a *less* sensitive hidden volume while still denying
+the existence of the most sensitive one — every remaining volume still
+looks like a dummy volume.
+"""
+
+from repro.android import Phone
+from repro.core import MobiCealConfig, MobiCealSystem
+
+DECOY = "just-a-phone"
+LEVEL1 = "personal-diary-key"      # mildly private
+LEVEL2 = "source-protection-key"   # life-critical
+
+
+def main() -> None:
+    phone = Phone(seed=31, userdata_blocks=8192)
+    system = MobiCealSystem(phone, MobiCealConfig(num_volumes=10))
+    phone.framework.power_on()
+    system.initialize(DECOY, hidden_passwords=(LEVEL1, LEVEL2))
+
+    k1 = None
+    print("== populate the three levels ==")
+    system.boot_with_password(DECOY)
+    system.start_framework()
+    system.store_file("/music/playlist.txt", b"pop songs")
+    print("public   : /music/playlist.txt")
+
+    system.screenlock.enter_password(LEVEL1)
+    system.store_file("/diary/march.txt", b"dear diary " * 50)
+    k1 = system.hidden_volume_in_session
+    print(f"level 1  : /diary/march.txt   (volume V{k1})")
+
+    system.reboot()
+    system.boot_with_password(LEVEL2)
+    system.store_file("/sources/network.db", b"\x00SQLite" + b"rows" * 800)
+    k2 = system.hidden_volume_in_session
+    print(f"level 2  : /sources/network.db (volume V{k2})")
+
+    print("\n== volume view (what on-disk metadata reveals to anyone) ==")
+    for vol, blocks in sorted(system.volume_usage().items()):
+        tag = "public" if vol == 1 else "???"
+        print(f"  V{vol}: {blocks:4d} blocks provisioned  [{tag}]")
+    print("Volumes 2..10 are indistinguishable: hidden? dummy? nobody can say.")
+
+    print("\n== graduated disclosure under coercion ==")
+    system.reboot()
+    system.boot_with_password(DECOY)
+    system.start_framework()
+    print("1) user reveals the decoy password -> adversary sees music only")
+    assert system.userdata_fs.exists("/music/playlist.txt")
+
+    print("2) adversary keeps pressing; user sacrifices level 1")
+    system.reboot()
+    system.boot_with_password(LEVEL1)
+    assert system.read_file("/diary/march.txt").startswith(b"dear diary")
+    print("   adversary finds an embarrassing-but-harmless diary, is satisfied")
+
+    print("3) level 2 remains deniable: without its password, volume "
+          f"V{k2} still reads as dummy randomness")
+    system.reboot()
+    system.boot_with_password(LEVEL2)
+    assert system.read_file("/sources/network.db").startswith(b"\x00SQLite")
+    print("   ...but the sources survive for the user. q.e.d.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: set up MobiCeal on a simulated phone and use both modes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the full user story of the paper's Sec. IV-B: initialize with a
+decoy and a hidden password, boot into the public mode, fast-switch into
+the hidden mode from the screen lock (< 10 s, no reboot), store sensitive
+data, and hand the phone to an inspector who only ever sees the public
+volume.
+"""
+
+from repro.android import Phone, UnlockResult
+from repro.core import MobiCealConfig, MobiCealSystem, Mode
+from repro.util.units import format_duration
+
+
+def main() -> None:
+    # A simulated LG Nexus 4 with a small userdata partition (fast to run).
+    phone = Phone(seed=2024, userdata_blocks=8192)  # 32 MiB
+    system = MobiCealSystem(phone, MobiCealConfig(num_volumes=6))
+
+    print("== Initialization (vdc cryptfs pde wipe) ==")
+    phone.framework.power_on()
+    t0 = phone.clock.now
+    system.initialize(
+        "sunny-day-decoy",
+        hidden_passwords=("deep-secret-passphrase",),
+        screenlock_password="1234",
+    )
+    print(f"initialized in {format_duration(phone.clock.now - t0)} (simulated)")
+
+    print("\n== Daily use: boot the public mode ==")
+    t0 = phone.clock.now
+    system.boot_with_password("sunny-day-decoy")
+    print(f"booted in {format_duration(phone.clock.now - t0)}")
+    system.start_framework()
+    system.store_file("/photos/beach.jpg", b"\xff\xd8 holiday pixels " * 200)
+    print("stored /photos/beach.jpg in the public volume")
+
+    print("\n== Emergency: fast switch to the hidden mode ==")
+    t0 = phone.clock.now
+    result = system.screenlock.enter_password("deep-secret-passphrase")
+    assert result is UnlockResult.SWITCHED_HIDDEN
+    print(f"switched in {format_duration(phone.clock.now - t0)} — no reboot")
+    system.store_file("/evidence/interview.m4a", b"audio frames " * 500)
+    print("stored /evidence/interview.m4a in the hidden volume")
+
+    print("\n== Before the checkpoint: one-way switch back (reboot) ==")
+    system.reboot()
+    system.boot_with_password("sunny-day-decoy")
+    system.start_framework()
+    assert system.mode is Mode.PUBLIC
+
+    print("inspector view (decoy password revealed under coercion):")
+    fs = system.userdata_fs
+    for dirpath, _dirs, files in fs.walk("/"):
+        for name in files:
+            print(f"  {dirpath.rstrip('/')}/{name}")
+    assert not fs.exists("/evidence/interview.m4a")
+    print("hidden file is not visible — and every non-public volume is")
+    print("indistinguishable from a dummy volume without the hidden password.")
+
+    print("\n== Later, in safety: the hidden data is still there ==")
+    system.reboot()
+    system.boot_with_password("deep-secret-passphrase")
+    data = system.read_file("/evidence/interview.m4a")
+    print(f"recovered hidden file: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""MobiCeal (DSN 2018) reproduction.
+
+A full-system, discrete-event-simulated reproduction of "MobiCeal: Towards
+Secure and Practical Plausibly Deniable Encryption on Mobile Devices"
+(Chang et al., DSN 2018). See README.md for the architecture overview,
+DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Top-level convenience re-exports cover the most common entry points; the
+subpackages hold the full API:
+
+* :mod:`repro.core` — MobiCeal itself (:class:`~repro.core.MobiCealSystem`)
+* :mod:`repro.android` — the simulated phone and Android userspace
+* :mod:`repro.adversary` — snapshots, forensics, the security game
+* :mod:`repro.baselines` — FDE, MobiPluto, HIVE, DEFY comparators
+* :mod:`repro.bench` — the experiment runners behind ``benchmarks/``
+"""
+
+from repro.android.phone import Phone
+from repro.core.config import MobiCealConfig
+from repro.core.system import MobiCealSystem, Mode
+
+__version__ = "1.0.0"
+
+__all__ = ["Phone", "MobiCealConfig", "MobiCealSystem", "Mode", "__version__"]

@@ -1,0 +1,59 @@
+"""Adversary toolkit: forensics, metadata parsing, the security game, side channels."""
+
+from repro.adversary.forensics import (
+    RANDOMNESS_ENTROPY_THRESHOLD,
+    ChangeAnalysis,
+    ForensicSummary,
+    analyze_changes,
+    entropy_map,
+    grep_snapshot,
+    summarize_snapshot,
+)
+from repro.adversary.game import (
+    AccessOp,
+    ClusteredAllocationAdversary,
+    Adversary,
+    GameHarness,
+    GameResult,
+    MultiSnapshotGame,
+    UnaccountableAllocationAdversary,
+    best_advantage,
+    make_pattern_pairs,
+)
+from repro.adversary.harnesses import MobiCealHarness, MobiPlutoHarness
+from repro.adversary.metadata import (
+    extract_pool_metadata,
+    metadata_region,
+    new_allocations_per_volume,
+    snapshot_to_device,
+    volume_allocations,
+)
+from repro.adversary.sidechannel import LeakReport, side_channel_attack
+
+__all__ = [
+    "RANDOMNESS_ENTROPY_THRESHOLD",
+    "ChangeAnalysis",
+    "ForensicSummary",
+    "analyze_changes",
+    "entropy_map",
+    "grep_snapshot",
+    "summarize_snapshot",
+    "AccessOp",
+    "ClusteredAllocationAdversary",
+    "Adversary",
+    "GameHarness",
+    "GameResult",
+    "MultiSnapshotGame",
+    "UnaccountableAllocationAdversary",
+    "best_advantage",
+    "make_pattern_pairs",
+    "MobiCealHarness",
+    "MobiPlutoHarness",
+    "extract_pool_metadata",
+    "metadata_region",
+    "new_allocations_per_volume",
+    "snapshot_to_device",
+    "volume_allocations",
+    "LeakReport",
+    "side_channel_attack",
+]

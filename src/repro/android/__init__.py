@@ -1,0 +1,43 @@
+"""Android substrate: device profiles, crypto footer, framework, Vold, screen lock."""
+
+from repro.android.footer import FOOTER_BLOCKS, CryptoFooter, data_area_blocks
+from repro.android.framework import (
+    BREADCRUMB_FILES,
+    AndroidFramework,
+    MountTable,
+    PhoneState,
+)
+from repro.android.phone import SMALL_USERDATA_BLOCKS, Phone
+from repro.android.profiles import (
+    NANDSIM,
+    NEXUS4,
+    NEXUS6P,
+    PROFILES,
+    SSD_I7,
+    DeviceProfile,
+    get_profile,
+)
+from repro.android.screenlock import ScreenLock, UnlockResult
+from repro.android.vold import AndroidVold
+
+__all__ = [
+    "FOOTER_BLOCKS",
+    "CryptoFooter",
+    "data_area_blocks",
+    "BREADCRUMB_FILES",
+    "AndroidFramework",
+    "MountTable",
+    "PhoneState",
+    "SMALL_USERDATA_BLOCKS",
+    "Phone",
+    "NANDSIM",
+    "NEXUS4",
+    "NEXUS6P",
+    "PROFILES",
+    "SSD_I7",
+    "DeviceProfile",
+    "get_profile",
+    "ScreenLock",
+    "UnlockResult",
+    "AndroidVold",
+]

@@ -1,0 +1,127 @@
+"""The Android crypto footer.
+
+Android 4.2's FDE stores an encryption footer in the last 16 KiB of the
+userdata partition: a magic, the PBKDF2 salt, and the master key encrypted
+under a key derived from the user's password. Password verification is
+*indirect*: deriving with any password yields *some* candidate master key,
+and correctness is established by whether the decrypted volume mounts as a
+valid filesystem (Sec. II-A / V-B).
+
+MobiCeal reuses the footer unchanged: the decoy password unlocks the real
+(public-volume) master key, while "decrypting" the same ciphertext with a
+hidden password deterministically yields that volume's hidden key — no
+extra footer space betrays the hidden volume's existence (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.blockdev.device import BlockDevice
+from repro.crypto.kdf import ANDROID_PBKDF2_ITERATIONS, pbkdf2
+from repro.crypto.rng import Rng
+from repro.crypto.stream import Blake2Ctr
+from repro.errors import FooterError
+
+#: The footer occupies the last 16 KiB of the partition.
+FOOTER_BLOCKS = 4
+
+MAGIC = b"ANDRFOOT"
+VERSION = 1
+SALT_LEN = 16
+KEY_LEN = 32
+
+_FOOTER = struct.Struct(f"<8sII{SALT_LEN}s{KEY_LEN}s")
+
+#: Fixed sector number used when wrapping the master key; the wrapping
+#: cipher instance is keyed by the derived key, so any constant works.
+_KEY_WRAP_SECTOR = 0
+
+
+@dataclass
+class CryptoFooter:
+    """In-memory form of the encryption footer."""
+
+    salt: bytes
+    encrypted_master_key: bytes
+    kdf_iterations: int = ANDROID_PBKDF2_ITERATIONS
+
+    def pack(self, block_size: int) -> bytes:
+        raw = _FOOTER.pack(
+            MAGIC, VERSION, self.kdf_iterations, self.salt,
+            self.encrypted_master_key,
+        )
+        return raw + b"\x00" * (FOOTER_BLOCKS * block_size - len(raw))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "CryptoFooter":
+        magic, version, iterations, salt, encrypted_key = _FOOTER.unpack(
+            raw[: _FOOTER.size]
+        )
+        if magic != MAGIC:
+            raise FooterError("no crypto footer found (device not encrypted?)")
+        if version != VERSION:
+            raise FooterError(f"unsupported footer version {version}")
+        return cls(
+            salt=salt, encrypted_master_key=encrypted_key,
+            kdf_iterations=iterations,
+        )
+
+    # -- key handling -----------------------------------------------------------
+
+    def derive_kek(self, password: str) -> bytes:
+        """Derive the key-encryption key from *password* and the salt."""
+        return pbkdf2(
+            password.encode("utf-8"), self.salt,
+            iterations=self.kdf_iterations, dklen=KEY_LEN,
+        )
+
+    def unlock(self, password: str) -> bytes:
+        """Return the candidate master key for *password*.
+
+        Never fails: a wrong password yields a wrong (but deterministic)
+        key, which is exactly how MobiCeal derives hidden-volume keys from
+        hidden passwords without storing anything extra.
+        """
+        kek = self.derive_kek(password)
+        return Blake2Ctr(kek).decrypt_sector(
+            _KEY_WRAP_SECTOR, self.encrypted_master_key
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    @classmethod
+    def create(cls, password: str, rng: Rng,
+               iterations: int = ANDROID_PBKDF2_ITERATIONS) -> tuple:
+        """Create a fresh footer; returns ``(footer, master_key)``."""
+        salt = rng.random_bytes(SALT_LEN)
+        master_key = rng.random_bytes(KEY_LEN)
+        footer = cls(salt=salt, encrypted_master_key=b"", kdf_iterations=iterations)
+        kek = footer.derive_kek(password)
+        footer.encrypted_master_key = Blake2Ctr(kek).encrypt_sector(
+            _KEY_WRAP_SECTOR, master_key
+        )
+        return footer, master_key
+
+    def store(self, device: BlockDevice) -> None:
+        """Write the footer into the last 16 KiB of *device*."""
+        raw = self.pack(device.block_size)
+        start = device.num_blocks - FOOTER_BLOCKS
+        for i in range(FOOTER_BLOCKS):
+            device.write_block(start + i, raw[i * device.block_size :
+                                              (i + 1) * device.block_size])
+
+    @classmethod
+    def load(cls, device: BlockDevice) -> "CryptoFooter":
+        """Read the footer from the last 16 KiB of *device*."""
+        start = device.num_blocks - FOOTER_BLOCKS
+        raw = b"".join(
+            device.read_block(start + i) for i in range(FOOTER_BLOCKS)
+        )
+        return cls.unpack(raw)
+
+
+def data_area_blocks(device: BlockDevice) -> int:
+    """Blocks of *device* usable for data once the footer is reserved."""
+    return device.num_blocks - FOOTER_BLOCKS

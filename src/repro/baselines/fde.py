@@ -1,0 +1,46 @@
+"""Baseline: stock Android full-disk encryption (no deniability).
+
+The "Android" setting of the paper's Fig. 4 and Table II. Thin wrapper over
+:class:`~repro.android.vold.AndroidVold` giving it the same lifecycle API
+shape as :class:`~repro.core.system.MobiCealSystem` so the bench harness
+can drive every system identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.android.phone import Phone
+from repro.android.vold import AndroidVold
+from repro.fs.ext4 import Ext4Filesystem
+
+
+class AndroidFDESystem:
+    """A stock phone with Android 4.2-style FDE."""
+
+    name = "android-fde"
+
+    def __init__(self, phone: Phone) -> None:
+        self.phone = phone
+        self.vold = AndroidVold(phone)
+
+    def initialize(self, password: str) -> None:
+        """Enable device encryption, then reboot (the stock settings flow)."""
+        self.vold.enable_crypto(password)
+        self.phone.framework.reboot()
+
+    def boot_with_password(self, password: str) -> Ext4Filesystem:
+        """Pre-boot authentication: decrypt and mount /data."""
+        return self.vold.mount_userdata(password)
+
+    def start_framework(self) -> None:
+        self.phone.framework.start_framework(warm=False)
+
+    def reboot(self) -> None:
+        if self.vold.userdata_fs is not None:
+            self.vold.unmount_userdata()
+        self.phone.framework.reboot()
+
+    @property
+    def userdata_fs(self) -> Optional[Ext4Filesystem]:
+        return self.vold.userdata_fs

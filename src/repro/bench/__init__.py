@@ -1,0 +1,67 @@
+"""Benchmark harness: workloads, measured stacks, per-experiment runners."""
+
+from repro.bench.reporting import (
+    render_fig4,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from repro.bench.runners import (
+    FIG4_METRICS,
+    OverheadRow,
+    TimingRow,
+    run_fig4,
+    run_table1,
+    run_table2,
+)
+from repro.bench.stacks import (
+    FIG4_SETTINGS,
+    Stack,
+    build_defy_stack,
+    build_fig4_stack,
+    build_hive_stack,
+    build_raw_ext4_stack,
+)
+from repro.bench.workloads import (
+    BONNIE_CHUNK,
+    CHAR_CPU_BYTE_S,
+    bonnie_char_read,
+    bonnie_char_write,
+    DD_CHUNK,
+    ThroughputSample,
+    bonnie_block_read,
+    bonnie_block_write,
+    bonnie_rewrite,
+    sequential_read,
+    sequential_write,
+)
+
+__all__ = [
+    "render_fig4",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "FIG4_METRICS",
+    "OverheadRow",
+    "TimingRow",
+    "run_fig4",
+    "run_table1",
+    "run_table2",
+    "FIG4_SETTINGS",
+    "Stack",
+    "build_defy_stack",
+    "build_fig4_stack",
+    "build_hive_stack",
+    "build_raw_ext4_stack",
+    "BONNIE_CHUNK",
+    "CHAR_CPU_BYTE_S",
+    "bonnie_char_read",
+    "bonnie_char_write",
+    "DD_CHUNK",
+    "ThroughputSample",
+    "bonnie_block_read",
+    "bonnie_block_write",
+    "bonnie_rewrite",
+    "sequential_read",
+    "sequential_write",
+]

@@ -1,0 +1,224 @@
+"""Experiment runners: one function per paper table/figure.
+
+These are the library-level entry points the ``benchmarks/`` suite and the
+examples call. Each returns plain data (dicts of
+:class:`~repro.util.stats.Summary`) plus a paper-style text rendering via
+:mod:`repro.bench.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.android.phone import Phone
+from repro.android.profiles import NANDSIM, NEXUS4, SSD_I7
+from repro.baselines.fde import AndroidFDESystem
+from repro.baselines.hiddenvolume import MobiPlutoSystem
+from repro.bench.stacks import (
+    FIG4_SETTINGS,
+    Stack,
+    build_defy_stack,
+    build_fig4_stack,
+    build_hive_stack,
+    build_raw_ext4_stack,
+)
+from repro.bench.workloads import (
+    bonnie_block_read,
+    bonnie_block_write,
+    sequential_read,
+    sequential_write,
+)
+from repro.blockdev.clock import Stopwatch
+from repro.core.config import MobiCealConfig
+from repro.core.system import MobiCealSystem
+from repro.util.stats import Summary, summarize
+
+FIG4_METRICS = ("dd-Write", "dd-Read", "B-Write", "B-Read")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — sequential throughput across the five settings
+# ---------------------------------------------------------------------------
+
+
+def run_fig4(
+    settings: Sequence[str] = FIG4_SETTINGS,
+    trials: int = 10,
+    file_bytes: int = 8 * 1024 * 1024,
+    userdata_blocks: int = 32768,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Summary]]:
+    """Sequential throughput (KB/s) per setting and metric, as in Fig. 4.
+
+    The paper wrote a 400 MB file on a 13 GiB partition; we scale both down
+    proportionally (the workload is bandwidth-bound, so throughput is size-
+    independent once past the fixed costs).
+    """
+    results: Dict[str, Dict[str, List[float]]] = {
+        s: {m: [] for m in FIG4_METRICS} for s in settings
+    }
+    for setting in settings:
+        for trial in range(trials):
+            stack = build_fig4_stack(
+                setting, seed=seed * 1000 + trial, userdata_blocks=userdata_blocks
+            )
+            fs, clock = stack.fs, stack.clock
+            w = sequential_write(fs, clock, "/test.dbf", file_bytes)
+            r = sequential_read(fs, clock, "/test.dbf")
+            fs.unlink("/test.dbf")
+            bw = bonnie_block_write(fs, clock, "/bonnie.dat", file_bytes)
+            br = bonnie_block_read(fs, clock, "/bonnie.dat")
+            results[setting]["dd-Write"].append(w.kb_per_second)
+            results[setting]["dd-Read"].append(r.kb_per_second)
+            results[setting]["B-Write"].append(bw.kb_per_second)
+            results[setting]["B-Read"].append(br.kb_per_second)
+    return {
+        s: {m: summarize(v) for m, v in metrics.items()}
+        for s, metrics in results.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table I — overhead comparison vs DEFY and HIVE
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One row of Table I."""
+
+    system: str
+    ext4_mb_s: float
+    encrypted_mb_s: float
+
+    @property
+    def overhead(self) -> float:
+        if self.ext4_mb_s <= 0:
+            return 0.0
+        return 1.0 - self.encrypted_mb_s / self.ext4_mb_s
+
+
+def _stack_write_mb_s(stack: Stack, file_bytes: int) -> float:
+    sample = sequential_write(stack.fs, stack.clock, "/t.bin", file_bytes)
+    return sample.mb_per_second
+
+
+def run_table1(
+    file_bytes: int = 4 * 1024 * 1024, seed: int = 0
+) -> List[OverheadRow]:
+    """Ext4-vs-encrypted sequential write throughput for the three systems,
+    each in its own (simulated) published test environment."""
+    rows = []
+    # DEFY: nandsim environment
+    raw = _stack_write_mb_s(build_raw_ext4_stack(NANDSIM, 16384, seed), file_bytes)
+    enc = _stack_write_mb_s(build_defy_stack(16384, seed), file_bytes)
+    rows.append(OverheadRow("DEFY", raw, enc))
+    # HIVE: SSD/i7 environment
+    raw = _stack_write_mb_s(build_raw_ext4_stack(SSD_I7, 16384, seed), file_bytes)
+    enc = _stack_write_mb_s(build_hive_stack(16384, seed), file_bytes)
+    rows.append(OverheadRow("HIVE", raw, enc))
+    # MobiCeal: Nexus 4 environment
+    raw = _stack_write_mb_s(
+        build_raw_ext4_stack(NEXUS4, 32768, seed), file_bytes
+    )
+    mc = build_fig4_stack("mc-p", seed, userdata_blocks=32768)
+    enc = _stack_write_mb_s(mc, file_bytes)
+    rows.append(OverheadRow("MobiCeal", raw, enc))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table II — initialization / booting / switching times
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TimingRow:
+    """One row of Table II (seconds; None = N/A)."""
+
+    system: str
+    initialization: Summary
+    booting: Summary
+    switch_in: Optional[Summary] = None
+    switch_out: Optional[Summary] = None
+
+
+def _measure(phone: Phone, fn: Callable[[], None]) -> float:
+    with Stopwatch(phone.clock) as sw:
+        fn()
+    return sw.elapsed
+
+
+def run_table2(
+    trials: int = 3,
+    userdata_blocks: Optional[int] = None,
+    seed: int = 0,
+) -> List[TimingRow]:
+    """Reproduce Table II on full phone-scale partitions.
+
+    ``userdata_blocks`` defaults to the Nexus 4 profile's 13 GiB userdata;
+    initialization durations scale with it (the dominant costs are whole-
+    partition passes for FDE/MobiPluto, and fixed orchestration for
+    MobiCeal).
+    """
+    blocks = userdata_blocks or NEXUS4.userdata_blocks
+    rows: List[TimingRow] = []
+
+    # -- Android FDE ------------------------------------------------------
+    init, boot = [], []
+    for t in range(trials):
+        phone = Phone(userdata_blocks=blocks, seed=seed * 100 + t)
+        system = AndroidFDESystem(phone)
+        phone.framework.power_on()
+        init.append(_measure(phone, lambda: system.initialize("pw")))
+        boot.append(_measure(phone, lambda: system.boot_with_password("pw")))
+    rows.append(TimingRow("Android FDE", summarize(init), summarize(boot)))
+
+    # -- MobiPluto ---------------------------------------------------------
+    init, boot, sw_in, sw_out = [], [], [], []
+    for t in range(trials):
+        phone = Phone(userdata_blocks=blocks, seed=seed * 100 + 50 + t)
+        system = MobiPlutoSystem(phone)
+        phone.framework.power_on()
+        init.append(
+            _measure(phone, lambda: system.initialize("pw", hidden_password="hid"))
+        )
+        boot.append(_measure(phone, lambda: system.boot_with_password("pw")))
+        system.start_framework()
+        sw_in.append(_measure(phone, lambda: system.switch_mode("hid")))
+        sw_out.append(_measure(phone, lambda: system.switch_mode("pw")))
+    rows.append(
+        TimingRow("MobiPluto", summarize(init), summarize(boot),
+                  summarize(sw_in), summarize(sw_out))
+    )
+
+    # -- MobiCeal -----------------------------------------------------------
+    init, boot, sw_in, sw_out = [], [], [], []
+    for t in range(trials):
+        phone = Phone(userdata_blocks=blocks, seed=seed * 100 + 80 + t)
+        system = MobiCealSystem(phone, MobiCealConfig(num_volumes=6))
+        phone.framework.power_on()
+        init.append(
+            _measure(
+                phone,
+                lambda: system.initialize("pw", hidden_passwords=("hid",)),
+            )
+        )
+        boot.append(_measure(phone, lambda: system.boot_with_password("pw")))
+        system.start_framework()
+        sw_in.append(
+            _measure(phone, lambda: system.screenlock.enter_password("hid"))
+        )
+
+        def exit_hidden() -> None:
+            system.reboot()
+            system.boot_with_password("pw")
+            system.start_framework()
+
+        sw_out.append(_measure(phone, exit_hidden))
+    rows.append(
+        TimingRow("MobiCeal", summarize(init), summarize(boot),
+                  summarize(sw_in), summarize(sw_out))
+    )
+    return rows

@@ -1,0 +1,53 @@
+"""Block-device substrate: simulated clock, latency models, devices, snapshots."""
+
+from repro.blockdev.clock import SimClock, Stopwatch
+from repro.blockdev.device import (
+    DEFAULT_BLOCK_SIZE,
+    BlockDevice,
+    IOStats,
+    RAMBlockDevice,
+    ReadOnlyView,
+    SubDevice,
+)
+from repro.blockdev.emmc import EMMCDevice
+from repro.blockdev.ftl import (
+    FTLDevice,
+    FTLStats,
+    NandFlash,
+    NandGeometry,
+    NandTimings,
+)
+from repro.blockdev.latency import FREE, LatencyModel
+from repro.blockdev.snapshot import (
+    Snapshot,
+    SnapshotDiff,
+    SnapshotSeries,
+    capture,
+    diff,
+    restore,
+)
+
+__all__ = [
+    "SimClock",
+    "Stopwatch",
+    "DEFAULT_BLOCK_SIZE",
+    "BlockDevice",
+    "IOStats",
+    "RAMBlockDevice",
+    "ReadOnlyView",
+    "SubDevice",
+    "EMMCDevice",
+    "FTLDevice",
+    "FTLStats",
+    "NandFlash",
+    "NandGeometry",
+    "NandTimings",
+    "FREE",
+    "LatencyModel",
+    "Snapshot",
+    "SnapshotDiff",
+    "SnapshotSeries",
+    "capture",
+    "diff",
+    "restore",
+]

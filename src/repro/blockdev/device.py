@@ -1,0 +1,310 @@
+"""Block device abstractions.
+
+A :class:`BlockDevice` is the unit of composition for the whole stack: the
+eMMC simulator, every device-mapper target, thin volumes, and encrypted
+volumes all expose this interface, exactly as Linux block devices do for the
+real MobiCeal. All I/O is in whole blocks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import (
+    BadBlockSizeError,
+    DeviceClosedError,
+    OutOfRangeError,
+    ReadOnlyDeviceError,
+)
+
+#: Default logical block size for the stack (matches ext4 and dm-thin).
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass
+class IOStats:
+    """Operation counters kept by every device for benches and tests."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flushes: int = 0
+    discards: int = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy, so callers can diff counters across a workload."""
+        return IOStats(
+            reads=self.reads,
+            writes=self.writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            flushes=self.flushes,
+            discards=self.discards,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since *earlier* (an earlier ``snapshot()``)."""
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            flushes=self.flushes - earlier.flushes,
+            discards=self.discards - earlier.discards,
+        )
+
+
+class BlockDevice(ABC):
+    """Abstract fixed-block-size random-access device."""
+
+    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if block_size <= 0 or block_size % 512 != 0:
+            raise ValueError(f"block_size must be a positive multiple of 512: {block_size}")
+        self._num_blocks = num_blocks
+        self._block_size = block_size
+        self._closed = False
+        self.stats = IOStats()
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def size_bytes(self) -> int:
+        return self._num_blocks * self._block_size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- I/O ---------------------------------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        """Read one block; returns exactly ``block_size`` bytes."""
+        self._check_io(block)
+        data = self._read(block)
+        self.stats.reads += 1
+        self.stats.bytes_read += self._block_size
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        """Write one block; *data* must be exactly ``block_size`` bytes."""
+        self._check_io(block)
+        if len(data) != self._block_size:
+            raise BadBlockSizeError(len(data), self._block_size)
+        self._write(block, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += self._block_size
+
+    def flush(self) -> None:
+        """Flush any volatile state to stable storage."""
+        if self._closed:
+            raise DeviceClosedError("flush on closed device")
+        self.stats.flushes += 1
+        self._flush()
+
+    def discard(self, block: int) -> None:
+        """Hint that *block* is no longer needed (TRIM)."""
+        self._check_io(block)
+        self.stats.discards += 1
+        self._discard(block)
+
+    def close(self) -> None:
+        """Tear the device down; further I/O raises :class:`DeviceClosedError`."""
+        self._closed = True
+
+    # -- out-of-band access ---------------------------------------------------
+
+    def peek(self, block: int) -> bytes:
+        """Read a block outside the I/O path: no stats, no simulated latency.
+
+        Used by forensic snapshot capture (the adversary images the medium
+        directly) and by tests. Subclasses with a latency model override
+        this to reach their backing store directly.
+        """
+        return self._read(block)
+
+    def poke(self, block: int, data: bytes) -> None:
+        """Write a block outside the I/O path (snapshot restore, bulk fill)."""
+        if len(data) != self._block_size:
+            raise BadBlockSizeError(len(data), self._block_size)
+        self._write(block, data)
+
+    # -- bulk helpers --------------------------------------------------------
+
+    def read_blocks(self, start: int, count: int) -> bytes:
+        """Read *count* consecutive blocks starting at *start*."""
+        return b"".join(self.read_block(start + i) for i in range(count))
+
+    def write_blocks(self, start: int, data: bytes) -> None:
+        """Write *data* (a multiple of block_size) at consecutive blocks."""
+        if len(data) % self._block_size != 0:
+            raise BadBlockSizeError(len(data), self._block_size)
+        for i in range(len(data) // self._block_size):
+            lo = i * self._block_size
+            self.write_block(start + i, data[lo : lo + self._block_size])
+
+    # -- hooks for subclasses ------------------------------------------------
+
+    @abstractmethod
+    def _read(self, block: int) -> bytes: ...
+
+    @abstractmethod
+    def _write(self, block: int, data: bytes) -> None: ...
+
+    def _flush(self) -> None:
+        pass
+
+    def _discard(self, block: int) -> None:
+        pass
+
+    def _check_io(self, block: int) -> None:
+        if self._closed:
+            raise DeviceClosedError("I/O on closed device")
+        if not 0 <= block < self._num_blocks:
+            raise OutOfRangeError(block, self._num_blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self._num_blocks} x {self._block_size}B"
+            f"{' closed' if self._closed else ''}>"
+        )
+
+
+class RAMBlockDevice(BlockDevice):
+    """A block device backed by RAM.
+
+    Blocks read before ever being written return ``fill`` bytes (zeroes by
+    default), mirroring a factory-fresh or discarded flash region.
+
+    With ``sparse=True`` only written blocks are stored (a dict keyed by
+    block number), which lets experiments instantiate full phone-sized
+    partitions (e.g. the Nexus 4's 13.7 GiB userdata) without allocating
+    that much memory. Dense mode keeps one bytearray, which is faster for
+    the small devices used in unit tests and snapshots.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        fill: int = 0,
+        sparse: bool = False,
+    ) -> None:
+        super().__init__(num_blocks, block_size)
+        self._fill_block = bytes([fill]) * block_size
+        self._sparse = sparse
+        if sparse:
+            self._blocks: dict = {}
+            self._buf = bytearray(0)
+        else:
+            self._buf = bytearray([fill]) * (num_blocks * block_size)
+
+    @property
+    def sparse(self) -> bool:
+        return self._sparse
+
+    def peek(self, block: int) -> bytes:
+        return RAMBlockDevice._read(self, block)
+
+    def poke(self, block: int, data: bytes) -> None:
+        if len(data) != self._block_size:
+            raise BadBlockSizeError(len(data), self._block_size)
+        RAMBlockDevice._write(self, block, data)
+
+    def _read(self, block: int) -> bytes:
+        if self._sparse:
+            return self._blocks.get(block, self._fill_block)
+        lo = block * self._block_size
+        return bytes(self._buf[lo : lo + self._block_size])
+
+    def _write(self, block: int, data: bytes) -> None:
+        if self._sparse:
+            self._blocks[block] = bytes(data)
+            return
+        lo = block * self._block_size
+        self._buf[lo : lo + self._block_size] = data
+
+    def _discard(self, block: int) -> None:
+        if self._sparse:
+            self._blocks.pop(block, None)
+            return
+        lo = block * self._block_size
+        self._buf[lo : lo + self._block_size] = b"\x00" * self._block_size
+
+    def raw_bytes(self) -> bytes:
+        """The full device image (used by snapshot capture); dense only."""
+        if self._sparse:
+            raise ValueError("raw_bytes is not available on a sparse device")
+        return bytes(self._buf)
+
+    def load_bytes(self, image: bytes) -> None:
+        """Replace the device contents with *image* (restore a snapshot)."""
+        if self._sparse:
+            raise ValueError("load_bytes is not available on a sparse device")
+        if len(image) != len(self._buf):
+            raise ValueError(
+                f"image size {len(image)} != device size {len(self._buf)}"
+            )
+        self._buf[:] = image
+
+
+class SubDevice(BlockDevice):
+    """A contiguous window onto another device (a partition)."""
+
+    def __init__(self, base: BlockDevice, start_block: int, num_blocks: int) -> None:
+        if start_block < 0 or start_block + num_blocks > base.num_blocks:
+            raise ValueError(
+                f"window [{start_block}, {start_block + num_blocks}) exceeds "
+                f"base device of {base.num_blocks} blocks"
+            )
+        super().__init__(num_blocks, base.block_size)
+        self._base = base
+        self._start = start_block
+
+    @property
+    def base(self) -> BlockDevice:
+        return self._base
+
+    @property
+    def start_block(self) -> int:
+        return self._start
+
+    def _read(self, block: int) -> bytes:
+        return self._base.read_block(self._start + block)
+
+    def _write(self, block: int, data: bytes) -> None:
+        self._base.write_block(self._start + block, data)
+
+    def _flush(self) -> None:
+        self._base.flush()
+
+    def _discard(self, block: int) -> None:
+        self._base.discard(self._start + block)
+
+
+class ReadOnlyView(BlockDevice):
+    """A read-only view of a device, used for forensic snapshot analysis."""
+
+    def __init__(self, base: BlockDevice) -> None:
+        super().__init__(base.num_blocks, base.block_size)
+        self._base = base
+
+    def _read(self, block: int) -> bytes:
+        return self._base.read_block(block)
+
+    def _write(self, block: int, data: bytes) -> None:
+        raise ReadOnlyDeviceError("write on read-only view")
+
+    def _discard(self, block: int) -> None:
+        raise ReadOnlyDeviceError("discard on read-only view")

@@ -1,0 +1,79 @@
+"""Simulated eMMC storage.
+
+The real MobiCeal prototype runs over the Nexus 4's internal eMMC, which the
+kernel sees as a plain block device behind the flash translation layer. Our
+simulator therefore models the *block-device view*: a RAM-backed store whose
+operations advance a shared :class:`~repro.blockdev.clock.SimClock` by the
+costs of a calibrated :class:`~repro.blockdev.latency.LatencyModel`, with
+sequential-access detection (the FTL and on-die caches make sequential I/O
+much cheaper than scattered I/O, which is exactly the property the paper's
+random-allocation discussion cares about).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blockdev.clock import SimClock
+from repro.blockdev.device import DEFAULT_BLOCK_SIZE, RAMBlockDevice
+from repro.blockdev.latency import FREE, LatencyModel
+from repro.crypto.rng import Rng
+
+
+class EMMCDevice(RAMBlockDevice):
+    """RAM-backed block device with a latency model and a simulated clock."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        clock: Optional[SimClock] = None,
+        latency: LatencyModel = FREE,
+        fill: int = 0,
+        sparse: bool = False,
+        jitter: float = 0.0,
+        jitter_rng: Optional[Rng] = None,
+    ) -> None:
+        super().__init__(num_blocks, block_size, fill=fill, sparse=sparse)
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = latency
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self._jitter = jitter
+        self._jitter_rng = jitter_rng if jitter_rng is not None else Rng(0)
+        self._last_read_end: Optional[int] = None
+        self._last_write_end: Optional[int] = None
+
+    def _jittered(self, cost: float) -> float:
+        """Apply multiplicative measurement noise to one op's cost."""
+        if not self._jitter:
+            return cost
+        scale = 1.0 + self._jitter * (2.0 * self._jitter_rng.random() - 1.0)
+        return cost * scale
+
+    def _read(self, block: int) -> bytes:
+        sequential = self._last_read_end == block
+        self._last_read_end = block + 1
+        self.clock.advance(
+            self._jittered(self.latency.read_cost(self.block_size, sequential)),
+            "emmc-read",
+        )
+        return super()._read(block)
+
+    def _write(self, block: int, data: bytes) -> None:
+        sequential = self._last_write_end == block
+        self._last_write_end = block + 1
+        self.clock.advance(
+            self._jittered(self.latency.write_cost(self.block_size, sequential)),
+            "emmc-write",
+        )
+        super()._write(block, data)
+
+    def _flush(self) -> None:
+        # Model a cache flush as one write-op worth of latency.
+        self.clock.advance(self.latency.write_op_s, "emmc-flush")
+
+    def reset_locality(self) -> None:
+        """Forget sequential-access state (e.g. after a remount)."""
+        self._last_read_end = None
+        self._last_write_end = None

@@ -1,0 +1,252 @@
+"""NAND flash + flash translation layer (FTL) simulator.
+
+The paper's setting assumes "mainstream mobile devices ... use NAND flash
+as block devices through [the] flash translation layer" (Sec. I), and its
+related work (DEFTL) pushes PDE *into* the FTL. This module provides that
+substrate for real: a raw NAND model (pages that must be erased in whole
+erase-blocks before reprogramming) and a page-mapping FTL on top that
+exposes the standard :class:`BlockDevice` interface — so the entire
+MobiCeal stack can run over it unchanged.
+
+The FTL implements the classic log-structured design:
+
+* **page-level mapping** (logical page -> flash page);
+* out-of-place updates: every write programs the next free page of the
+  open erase-block, invalidating the previous copy;
+* **garbage collection** when free erase-blocks run low: a victim is
+  chosen by a greedy cost/benefit score mixed with a wear-leveling term,
+  its valid pages are migrated, and the block is erased;
+* **TRIM** support (MobiCeal's wipe/discard paths benefit exactly like on
+  real eMMC);
+* wear accounting (per-block erase counts) and write-amplification stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.blockdev.clock import SimClock
+from repro.blockdev.device import DEFAULT_BLOCK_SIZE, BlockDevice
+from repro.errors import BlockDeviceError, NoSpaceError
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Physical layout of the NAND array."""
+
+    erase_blocks: int = 256
+    pages_per_block: int = 64
+    page_size: int = DEFAULT_BLOCK_SIZE
+
+    @property
+    def total_pages(self) -> int:
+        return self.erase_blocks * self.pages_per_block
+
+
+@dataclass(frozen=True)
+class NandTimings:
+    """Datasheet-style NAND operation latencies (seconds)."""
+
+    read_page_s: float = 60e-6
+    program_page_s: float = 250e-6
+    erase_block_s: float = 2e-3
+
+
+@dataclass
+class FTLStats:
+    host_writes: int = 0
+    flash_programs: int = 0
+    flash_reads: int = 0
+    erases: int = 0
+    gc_runs: int = 0
+    pages_migrated: int = 0
+    trims: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_writes == 0:
+            return 1.0
+        return self.flash_programs / self.host_writes
+
+
+class NandFlash:
+    """Raw NAND: program-once pages, erase whole blocks."""
+
+    def __init__(
+        self,
+        geometry: NandGeometry,
+        timings: NandTimings = NandTimings(),
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.timings = timings
+        self.clock = clock
+        self._pages: Dict[int, bytes] = {}
+        #: per erase-block program cursor: next programmable page offset
+        self._cursor: List[int] = [0] * geometry.erase_blocks
+        self.erase_counts: List[int] = [0] * geometry.erase_blocks
+
+    def _charge(self, seconds: float, reason: str) -> None:
+        if self.clock is not None:
+            self.clock.advance(seconds, reason)
+
+    def page_index(self, block: int, offset: int) -> int:
+        return block * self.geometry.pages_per_block + offset
+
+    def read_page(self, page: int) -> bytes:
+        self._charge(self.timings.read_page_s, "nand-read")
+        return self._pages.get(page, b"\xff" * self.geometry.page_size)
+
+    def program_page(self, block: int, data: bytes) -> int:
+        """Program the next free page of *block*; returns the page index."""
+        offset = self._cursor[block]
+        if offset >= self.geometry.pages_per_block:
+            raise BlockDeviceError(f"erase block {block} is full")
+        if len(data) != self.geometry.page_size:
+            raise BlockDeviceError("page payload size mismatch")
+        self._charge(self.timings.program_page_s, "nand-program")
+        page = self.page_index(block, offset)
+        self._pages[page] = data
+        self._cursor[block] = offset + 1
+        return page
+
+    def erase_block(self, block: int) -> None:
+        self._charge(self.timings.erase_block_s, "nand-erase")
+        start = self.page_index(block, 0)
+        for page in range(start, start + self.geometry.pages_per_block):
+            self._pages.pop(page, None)
+        self._cursor[block] = 0
+        self.erase_counts[block] += 1
+
+    def block_full(self, block: int) -> bool:
+        return self._cursor[block] >= self.geometry.pages_per_block
+
+
+class FTLDevice(BlockDevice):
+    """A page-mapping FTL exposing NAND as an ordinary block device."""
+
+    def __init__(
+        self,
+        nand: NandFlash,
+        overprovision: float = 0.10,
+        gc_low_watermark: int = 2,
+        wear_weight: float = 0.25,
+    ) -> None:
+        geometry = nand.geometry
+        logical_pages = int(geometry.total_pages * (1.0 - overprovision))
+        logical_pages -= logical_pages % geometry.pages_per_block
+        if logical_pages <= 0:
+            raise BlockDeviceError("overprovision leaves no logical space")
+        super().__init__(logical_pages, geometry.page_size)
+        self.nand = nand
+        self.ftl_stats = FTLStats()
+        self._gc_low_watermark = max(1, gc_low_watermark)
+        self._wear_weight = wear_weight
+        #: logical page -> flash page (absent = unmapped/trimmed)
+        self._l2p: Dict[int, int] = {}
+        #: flash page -> logical page, for valid pages only
+        self._p2l: Dict[int, int] = {}
+        #: erase blocks with no programmed pages
+        self._free_blocks: List[int] = list(range(geometry.erase_blocks))
+        self._open_block: int = self._free_blocks.pop()
+        #: per erase-block count of invalid (stale) pages
+        self._invalid: List[int] = [0] * geometry.erase_blocks
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def free_erase_blocks(self) -> int:
+        return len(self._free_blocks)
+
+    def wear_spread(self) -> int:
+        """max - min erase count; wear leveling keeps this small."""
+        return max(self.nand.erase_counts) - min(self.nand.erase_counts)
+
+    # -- internals -------------------------------------------------------------
+
+    def _invalidate(self, flash_page: int) -> None:
+        block = flash_page // self.nand.geometry.pages_per_block
+        self._p2l.pop(flash_page, None)
+        self._invalid[block] += 1
+
+    def _open_new_block(self) -> None:
+        if not self._free_blocks:
+            raise NoSpaceError("FTL out of free erase blocks")  # pragma: no cover
+        # pick the least-worn free block (static wear leveling)
+        best = min(self._free_blocks, key=lambda b: self.nand.erase_counts[b])
+        self._free_blocks.remove(best)
+        self._open_block = best
+
+    def _program(self, logical: int, data: bytes) -> None:
+        if self.nand.block_full(self._open_block):
+            self._open_new_block()
+        flash_page = self.nand.program_page(self._open_block, data)
+        self.ftl_stats.flash_programs += 1
+        old = self._l2p.get(logical)
+        if old is not None:
+            self._invalidate(old)
+        self._l2p[logical] = flash_page
+        self._p2l[flash_page] = logical
+
+    def _pick_victim(self) -> Optional[int]:
+        """Greedy + wear: most invalid pages, least-worn preferred."""
+        ppb = self.nand.geometry.pages_per_block
+        candidates = [
+            b for b in range(self.nand.geometry.erase_blocks)
+            if b != self._open_block
+            and b not in self._free_blocks
+            and self._invalid[b] > 0
+        ]
+        if not candidates:
+            return None
+        max_wear = max(self.nand.erase_counts) or 1
+
+        def score(block: int) -> float:
+            benefit = self._invalid[block] / ppb
+            wear_penalty = self.nand.erase_counts[block] / max_wear
+            return benefit - self._wear_weight * wear_penalty
+
+        return max(candidates, key=score)
+
+    def _garbage_collect(self) -> None:
+        while len(self._free_blocks) < self._gc_low_watermark:
+            victim = self._pick_victim()
+            if victim is None:
+                return
+            self.ftl_stats.gc_runs += 1
+            ppb = self.nand.geometry.pages_per_block
+            start = self.nand.page_index(victim, 0)
+            for flash_page in range(start, start + ppb):
+                logical = self._p2l.get(flash_page)
+                if logical is None:
+                    continue
+                data = self.nand.read_page(flash_page)
+                self.ftl_stats.flash_reads += 1
+                self._program(logical, data)
+                self.ftl_stats.pages_migrated += 1
+            self.nand.erase_block(victim)
+            self.ftl_stats.erases += 1
+            self._invalid[victim] = 0
+            self._free_blocks.append(victim)
+
+    # -- BlockDevice implementation ------------------------------------------------
+
+    def _write(self, block: int, data: bytes) -> None:
+        self.ftl_stats.host_writes += 1
+        self._garbage_collect()
+        self._program(block, data)
+
+    def _read(self, block: int) -> bytes:
+        flash_page = self._l2p.get(block)
+        if flash_page is None:
+            return b"\x00" * self.block_size
+        self.ftl_stats.flash_reads += 1
+        return self.nand.read_page(flash_page)
+
+    def _discard(self, block: int) -> None:
+        """TRIM: drop the mapping so GC can reclaim the stale page."""
+        self.ftl_stats.trims += 1
+        flash_page = self._l2p.pop(block, None)
+        if flash_page is not None:
+            self._invalidate(flash_page)

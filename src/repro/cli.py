@@ -1,0 +1,173 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro fig4 [--trials N]
+    python -m repro table1
+    python -m repro table2 [--trials N]
+    python -m repro game [--games N]
+    python -m repro sidechannel
+    python -m repro all
+
+Every command prints the paper-style table for its experiment, computed on
+the simulated stack. See EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary import (
+    MobiCealHarness,
+    MobiPlutoHarness,
+    MultiSnapshotGame,
+    best_advantage,
+    side_channel_attack,
+)
+from repro.android import Phone
+from repro.bench import (
+    render_fig4,
+    render_table,
+    render_table1,
+    render_table2,
+    run_fig4,
+    run_table1,
+    run_table2,
+)
+from repro.core import MobiCealConfig, MobiCealSystem
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    results = run_fig4(
+        trials=args.trials,
+        file_bytes=args.file_mib * 1024 * 1024,
+        userdata_blocks=32768,
+        seed=args.seed,
+    )
+    print(render_fig4(results))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = run_table1(file_bytes=args.file_mib * 1024 * 1024, seed=args.seed)
+    print(render_table1(rows))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    rows = run_table2(trials=args.trials, seed=args.seed)
+    print(render_table2(rows))
+
+
+def _cmd_game(args: argparse.Namespace) -> None:
+    thresholds = (0.5, 2, 5, 10, 20, 40)
+    rows = []
+    for name, factory in (
+        ("MobiCeal", lambda i: MobiCealHarness(seed=1000 + i)),
+        ("MobiPluto", lambda i: MobiPlutoHarness(seed=2000 + i)),
+    ):
+        game = MultiSnapshotGame(factory, rounds=args.rounds, seed=args.seed)
+        thresh, adv = best_advantage(
+            game, thresholds, games_per_threshold=args.games
+        )
+        rows.append([name, f"{thresh:g} blocks/round", f"{adv:.3f}"])
+    print("Multi-snapshot game — best threshold-adversary advantage")
+    print(render_table(["system", "best threshold", "advantage"], rows))
+    if args.games < 10:
+        print(
+            f"(note: only {args.games} games per threshold — the empirical "
+            "advantage is noisy at this sample size; use --games 20+)"
+        )
+
+
+def _cmd_sidechannel(args: argparse.Namespace) -> None:
+    rows = []
+    scenarios = (
+        ("MobiCeal", True, True),
+        ("no-isolation strawman", False, True),
+        ("two-way-switch strawman", True, False),
+    )
+    for name, isolate, one_way in scenarios:
+        phone = Phone(seed=args.seed, userdata_blocks=4096)
+        system = MobiCealSystem(
+            phone,
+            MobiCealConfig(
+                num_volumes=4,
+                isolate_side_channels=isolate,
+                one_way_switching=one_way,
+            ),
+        )
+        phone.framework.power_on()
+        system.initialize("decoy", hidden_passwords=("hidden",))
+        system.boot_with_password("decoy")
+        system.start_framework()
+        system.screenlock.enter_password("hidden")
+        system.store_file("/secret/list.txt", b"sensitive")
+        if one_way:
+            system.reboot()
+            system.boot_with_password("decoy")
+            system.start_framework()
+        else:
+            system.switch_to_public_unsafe("decoy")
+        report = side_channel_attack(phone, ["/secret/list.txt"])
+        rows.append([name, report.describe()[:80]])
+    print("Side-channel attack results")
+    print(render_table(["system", "verdict"], rows))
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    for fn in (_cmd_fig4, _cmd_table1, _cmd_table2, _cmd_game,
+               _cmd_sidechannel):
+        fn(args)
+        print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MobiCeal (DSN 2018) reproduction — regenerate the "
+        "paper's tables and figures on the simulated stack.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig4", help="Fig. 4: sequential throughput")
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--file-mib", type=int, default=4)
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("table1", help="Table I: overhead comparison")
+    p.add_argument("--file-mib", type=int, default=4)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="Table II: init/boot/switch times")
+    p.add_argument("--trials", type=int, default=2)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("game", help="multi-snapshot security game")
+    p.add_argument("--games", type=int, default=12)
+    p.add_argument("--rounds", type=int, default=3)
+    p.set_defaults(func=_cmd_game)
+
+    p = sub.add_parser("sidechannel", help="the Czeskis side-channel attack")
+    p.set_defaults(func=_cmd_sidechannel)
+
+    p = sub.add_parser("all", help="run every experiment")
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--file-mib", type=int, default=2)
+    p.add_argument("--games", type=int, default=8)
+    p.add_argument("--rounds", type=int, default=3)
+    p.set_defaults(func=_cmd_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

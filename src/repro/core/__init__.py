@@ -1,0 +1,33 @@
+"""MobiCeal core: configuration, dummy writes, GC, and the system orchestration."""
+
+from repro.core.advisor import (
+    CapacityArithmeticAdversary,
+    CoverTrafficAdvisor,
+    plausible_dummy_bound,
+)
+from repro.core.config import DEFAULT_CONFIG, MobiCealConfig
+from repro.core.dummywrite import DummyWritePolicy, DummyWriteStats
+from repro.core.gc import GCResult, collect_dummy_space, draw_reclaim_fraction
+from repro.core.system import (
+    MOBICEAL_BOOT_EXTRA_S,
+    PUBLIC_VOLUME_ID,
+    MobiCealSystem,
+    Mode,
+)
+
+__all__ = [
+    "CapacityArithmeticAdversary",
+    "CoverTrafficAdvisor",
+    "plausible_dummy_bound",
+    "DEFAULT_CONFIG",
+    "MobiCealConfig",
+    "DummyWritePolicy",
+    "DummyWriteStats",
+    "GCResult",
+    "collect_dummy_space",
+    "draw_reclaim_fraction",
+    "MOBICEAL_BOOT_EXTRA_S",
+    "PUBLIC_VOLUME_ID",
+    "MobiCealSystem",
+    "Mode",
+]

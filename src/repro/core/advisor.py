@@ -1,0 +1,156 @@
+"""Cover-traffic advisor: the paper's user guideline as code.
+
+Sec. IV-B identifies the residual capacity-arithmetic attack: the adversary
+"can calculate the total number of blocks for the public volume, and
+estimate the maximal number of blocks for the dummy volume. If the total
+number of blocks being allocated for non-public data exceeds this maximal
+number, the adversary may suspect existence of hidden data." The paper's
+mitigation is behavioural: "the user should store a file with
+approximately equal size in the public volume after storing a large file
+in the hidden volume."
+
+This module implements both sides:
+
+* :func:`plausible_dummy_bound` — the adversary's arithmetic: with trigger
+  probability at most 1/2 and exponential bursts of mean ``1/lambda``, the
+  dummy blocks attributable to ``P`` public provisioning writes are, with
+  overwhelming probability, below ``slack * P * 0.5 / lambda``;
+* :class:`CoverTrafficAdvisor` — the user-side ledger that watches the
+  volume-usage arithmetic and says how much public data to write so the
+  hidden data stays inside the plausible-dummy envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MobiCealConfig
+
+#: Multiple of the expectation the adversary must grant before crying foul
+#: (dummy bursts are exponential; small sample sums overshoot their mean).
+DEFAULT_SLACK = 3.0
+
+
+def plausible_dummy_bound(
+    public_blocks: int, config: MobiCealConfig, slack: float = DEFAULT_SLACK
+) -> float:
+    """Upper envelope of dummy blocks explainable by *public_blocks* writes.
+
+    The trigger fires with probability at most 1/2 (``rand`` is uniform on
+    ``[1, 2x]`` against ``stored_rand mod x < x``) and each burst averages
+    ``1/lambda`` blocks, so the expected dummy volume is at most
+    ``public_blocks / (2 * lambda)``; *slack* covers the variance.
+    """
+    if public_blocks < 0:
+        raise ValueError("public_blocks must be non-negative")
+    expectation_cap = public_blocks * 0.5 / config.dummy_rate
+    # grant a small absolute floor so a fresh system is never "suspicious"
+    return slack * expectation_cap + 64.0
+
+
+@dataclass
+class UsageAssessment:
+    """The advisor's (and the adversary's) view of the volume arithmetic."""
+
+    public_blocks: int
+    non_public_blocks: int
+    plausible_bound: float
+
+    @property
+    def within_envelope(self) -> bool:
+        return self.non_public_blocks <= self.plausible_bound
+
+    @property
+    def deficit_blocks(self) -> int:
+        """Public blocks still needed to make the usage plausible (0 if ok)."""
+        if self.within_envelope:
+            return 0
+        # invert the bound: find P' with bound(P') >= non_public
+        return self.public_blocks_needed() - self.public_blocks
+
+    def public_blocks_needed(self) -> int:
+        """Public block count P at which the arithmetic becomes plausible.
+
+        Writing the cover itself fires dummy writes, so the inversion must
+        out-run the induced growth: the bound rises with slope
+        ``slack * 0.5/lambda`` per public block while the non-public count
+        rises at most ``0.5/lambda`` (the trigger probability is < 1/2 and
+        bursts average ``1/lambda``). With slack > 1 a fixed point exists:
+
+            bound_slope*P + 64 = N0 + induced_slope*(P - P0)
+        """
+        bound_slope = self._slack * 0.5 / self._rate
+        induced_slope = 0.5 / self._rate
+        needed = (
+            self.non_public_blocks - 64.0 - induced_slope * self.public_blocks
+        ) / (bound_slope - induced_slope)
+        return max(self.public_blocks, int(needed) + 1)
+
+    # populated by the advisor so the inversion uses the same parameters
+    _slack: float = DEFAULT_SLACK
+    _rate: float = 1.0
+
+
+class CoverTrafficAdvisor:
+    """Tracks volume usage and recommends public cover writes.
+
+    Wire it to a :class:`~repro.core.system.MobiCealSystem` and consult it
+    after hidden-mode sessions; `recommended_cover_bytes()` says how much
+    public data to store so the capacity arithmetic stays plausible.
+    """
+
+    def __init__(
+        self,
+        config: MobiCealConfig,
+        block_size: int = 4096,
+        slack: float = DEFAULT_SLACK,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.block_size = block_size
+        self.slack = slack
+
+    def assess(self, volume_usage: dict) -> UsageAssessment:
+        """Evaluate a ``vol_id -> provisioned blocks`` map (public is V1)."""
+        public = volume_usage.get(1, 0)
+        non_public = sum(
+            count for vol_id, count in volume_usage.items() if vol_id != 1
+        )
+        assessment = UsageAssessment(
+            public_blocks=public,
+            non_public_blocks=non_public,
+            plausible_bound=plausible_dummy_bound(
+                public, self.config, self.slack
+            ),
+        )
+        assessment._slack = self.slack
+        assessment._rate = self.config.dummy_rate
+        return assessment
+
+    def recommended_cover_bytes(self, volume_usage: dict) -> int:
+        """Bytes of public data to write now (0 when already plausible)."""
+        return self.assess(volume_usage).deficit_blocks * self.block_size
+
+
+class CapacityArithmeticAdversary:
+    """The attack the advisor defends against.
+
+    Looks at a single snapshot's volume metadata (no diffing needed) and
+    flags the device when the non-public allocation count exceeds the
+    plausible-dummy envelope for the observed public allocation count.
+    """
+
+    def __init__(
+        self, config: MobiCealConfig, slack: float = DEFAULT_SLACK
+    ) -> None:
+        self.config = config
+        self.slack = slack
+
+    def suspects_hidden_data(self, volume_usage: dict) -> bool:
+        public = volume_usage.get(1, 0)
+        non_public = sum(
+            count for vol_id, count in volume_usage.items() if vol_id != 1
+        )
+        return non_public > plausible_dummy_bound(
+            public, self.config, self.slack
+        )

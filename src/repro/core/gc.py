@@ -1,0 +1,75 @@
+"""Garbage collection of dummy-write space (Sec. IV-D).
+
+Dummy data accumulates and would eventually fill the disk. MobiCeal
+reclaims it periodically, but **never completely** — if all dummy blocks
+disappeared while hidden blocks stayed, a snapshot comparison would point
+straight at the hidden data. So each GC run frees a *random fraction* of
+the dummy-owned blocks, drawn from a distribution that is large with high
+probability (efficiency) but never exactly 1 (deniability).
+
+GC runs in the **hidden mode**, because only there can the system tell
+dummy volumes apart from the hidden volume(s): in the public mode they are
+indistinguishable by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.crypto.rng import Rng
+from repro.dm.thin.pool import ThinPool
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of one garbage-collection run."""
+
+    fraction_targeted: float
+    blocks_examined: int
+    blocks_reclaimed: int
+
+
+def draw_reclaim_fraction(rng: Rng, shape: float) -> float:
+    """Draw the reclaim fraction from Beta(shape, 1) — i.e. ``u**(1/shape)``.
+
+    With the default shape of 5, the median fraction is ~0.87 and the mass
+    concentrates near (but never at) 1, which is exactly the "large with a
+    high probability" requirement of the paper.
+    """
+    if shape <= 0:
+        raise ValueError("shape must be positive")
+    u = rng.random()
+    # avoid u == 0 -> fraction 0 (useless run) without biasing noticeably
+    u = max(u, 1e-12)
+    return u ** (1.0 / shape)
+
+
+def collect_dummy_space(
+    pool: ThinPool,
+    dummy_volume_ids: Iterable[int],
+    rng: Rng,
+    shape: float = 5.0,
+) -> GCResult:
+    """Reclaim a random fraction of the blocks held by *dummy_volume_ids*.
+
+    The caller (the hidden-mode system) is responsible for passing only
+    volumes it knows to be dummy — never the public volume or the hidden
+    volume in session.
+    """
+    fraction = draw_reclaim_fraction(rng, shape)
+    examined = 0
+    reclaimed = 0
+    for vol_id in dummy_volume_ids:
+        record = pool.volume_record(vol_id)
+        vblocks: List[int] = list(record.mappings)
+        examined += len(vblocks)
+        for vblock in vblocks:
+            if rng.random() < fraction:
+                pool.discard_mapped(record, vblock)
+                reclaimed += 1
+    return GCResult(
+        fraction_targeted=fraction,
+        blocks_examined=examined,
+        blocks_reclaimed=reclaimed,
+    )

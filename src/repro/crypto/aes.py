@@ -1,0 +1,190 @@
+"""Pure-Python AES block cipher (AES-128/192/256).
+
+MobiCeal's volumes are encrypted by dm-crypt, which on the Nexus 4 uses AES.
+We implement the block cipher from the FIPS-197 specification so the
+reproduction has a real cipher with real key schedules — the deniability
+argument rests on ciphertext being indistinguishable from random, and tests
+verify this implementation against the FIPS-197 known-answer vectors.
+
+Pure-Python AES is slow, so the large throughput benches default to the
+keyed stream cipher in :mod:`repro.crypto.stream`; both expose the same
+indistinguishability property. dm-crypt (:mod:`repro.dm.crypt`) can run on
+either.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidKeyError
+
+# -- tables -----------------------------------------------------------------
+
+
+def _build_tables():
+    """Build the S-box, inverse S-box and GF(2^8) multiplication tables."""
+    # Multiplicative inverse in GF(2^8) via exp/log tables with generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 (generator) in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def gmul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return exp[log[a] + log[b]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for i in range(256):
+        # multiplicative inverse (0 maps to 0)
+        q = exp[255 - log[i]] if i else 0
+        # affine transform
+        s = q
+        for _ in range(4):
+            q = ((q << 1) | (q >> 7)) & 0xFF
+            s ^= q
+        s ^= 0x63
+        sbox[i] = s
+        inv_sbox[s] = i
+
+    mul2 = [gmul(i, 2) for i in range(256)]
+    mul3 = [gmul(i, 3) for i in range(256)]
+    mul9 = [gmul(i, 9) for i in range(256)]
+    mul11 = [gmul(i, 11) for i in range(256)]
+    mul13 = [gmul(i, 13) for i in range(256)]
+    mul14 = [gmul(i, 14) for i in range(256)]
+    return sbox, inv_sbox, mul2, mul3, mul9, mul11, mul13, mul14
+
+
+_SBOX, _INV_SBOX, _M2, _M3, _M9, _M11, _M13, _M14 = _build_tables()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+class AES:
+    """The AES block cipher over 16-byte blocks.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.decrypt_block(cipher.encrypt_block(bytes(16))) == bytes(16)
+    True
+    """
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise InvalidKeyError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = key
+        self._nk = len(key) // 4
+        self._nr = self._nk + 6
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule --------------------------------------------------------
+
+    def _expand_key(self, key: bytes):
+        nk, nr = self._nk, self._nr
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into 4x4 state matrices per round (column-major words).
+        round_keys = []
+        for r in range(nr + 1):
+            round_keys.append([words[4 * r + c][row] for c in range(4) for row in range(4)])
+        return round_keys
+
+    # -- round primitives ------------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state, rk):
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state):
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state):
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state):
+        # state is column-major: state[4*c + r]
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state):
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[4 * c + r] = row[c]
+
+    @staticmethod
+    def _mix_columns(state):
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _M2[a0] ^ _M3[a1] ^ a2 ^ a3
+            state[4 * c + 1] = a0 ^ _M2[a1] ^ _M3[a2] ^ a3
+            state[4 * c + 2] = a0 ^ a1 ^ _M2[a2] ^ _M3[a3]
+            state[4 * c + 3] = _M3[a0] ^ a1 ^ a2 ^ _M2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state):
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _M14[a0] ^ _M11[a1] ^ _M13[a2] ^ _M9[a3]
+            state[4 * c + 1] = _M9[a0] ^ _M14[a1] ^ _M11[a2] ^ _M13[a3]
+            state[4 * c + 2] = _M13[a0] ^ _M9[a1] ^ _M14[a2] ^ _M11[a3]
+            state[4 * c + 3] = _M11[a0] ^ _M13[a1] ^ _M9[a2] ^ _M14[a3]
+
+    # -- public API --------------------------------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self._nr):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._nr])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[self._nr])
+        for r in range(self._nr - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,82 @@
+"""Key derivation, exactly as Android 4.2 FDE and MobiCeal use it.
+
+Android derives the footer key from the user password with PBKDF2-HMAC-SHA1
+(RFC 2898) and a random salt stored in the crypto footer. MobiCeal reuses the
+same machinery for the decoy and hidden passwords, and additionally derives
+the hidden volume *index* ``k = (PBKDF2(pwd, salt) mod (n-1)) + 2``
+(Sec. IV-C of the paper).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+#: Android 4.2's FDE iteration count for PBKDF2 (cryptfs.c).
+ANDROID_PBKDF2_ITERATIONS = 2000
+
+#: Android 4.2's derived key+IV length: 16-byte key + 16-byte IV.
+ANDROID_KEY_LEN = 32
+
+
+def pbkdf2(
+    password: bytes,
+    salt: bytes,
+    iterations: int = ANDROID_PBKDF2_ITERATIONS,
+    dklen: int = ANDROID_KEY_LEN,
+    hash_name: str = "sha1",
+) -> bytes:
+    """PBKDF2-HMAC as used by Android's cryptfs. Thin stdlib wrapper."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if dklen < 1:
+        raise ValueError("dklen must be >= 1")
+    return hashlib.pbkdf2_hmac(hash_name, password, salt, iterations, dklen)
+
+
+def pbkdf2_reference(
+    password: bytes,
+    salt: bytes,
+    iterations: int,
+    dklen: int,
+    hash_name: str = "sha1",
+) -> bytes:
+    """From-scratch RFC 2898 implementation, cross-checked against stdlib.
+
+    Kept as an executable specification; tests assert it matches
+    :func:`pbkdf2` on random inputs.
+    """
+    hlen = hashlib.new(hash_name).digest_size
+    nblocks = -(-dklen // hlen)  # ceil division
+    derived = bytearray()
+    for i in range(1, nblocks + 1):
+        u = hmac.new(password, salt + i.to_bytes(4, "big"), hash_name).digest()
+        t = bytearray(u)
+        for _ in range(iterations - 1):
+            u = hmac.new(password, u, hash_name).digest()
+            for j in range(hlen):
+                t[j] ^= u[j]
+        derived.extend(t)
+    return bytes(derived[:dklen])
+
+
+def derive_hidden_volume_index(
+    password: bytes, salt: bytes, num_volumes: int, iterations: int = ANDROID_PBKDF2_ITERATIONS
+) -> int:
+    """MobiCeal's hidden-volume index: ``k = (H(pwd||salt) mod (n-1)) + 2``.
+
+    *num_volumes* is ``n``, the total number of thin volumes; valid results
+    are in ``[2, n]`` (volume 1 is always the public volume). H is PBKDF2
+    per the paper.
+    """
+    if num_volumes < 2:
+        raise ValueError("need at least 2 volumes for a hidden volume")
+    digest = pbkdf2(password, salt, iterations=iterations, dklen=8)
+    return (int.from_bytes(digest, "big") % (num_volumes - 1)) + 2
+
+
+def derive_dummy_volume_index(stored_rand: int, num_volumes: int) -> int:
+    """Volume a dummy write is scattered to: ``j = (stored_rand mod (n-1)) + 2``."""
+    if num_volumes < 2:
+        raise ValueError("need at least 2 volumes for dummy volumes")
+    return (stored_rand % (num_volumes - 1)) + 2

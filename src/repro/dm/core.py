@@ -1,0 +1,138 @@
+"""Device-mapper core.
+
+Linux's device mapper builds virtual block devices from *tables*: ordered
+lists of ``(start, length, target)`` segments, where each target maps I/O in
+its segment onto lower devices. MobiCeal's whole stack — dm-crypt over a
+thin volume over a pool over the eMMC — is expressed with these pieces, so
+we reproduce the same architecture.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.blockdev.device import BlockDevice
+from repro.errors import TableError
+
+
+class Target(ABC):
+    """A device-mapper target mapping a fixed number of virtual blocks."""
+
+    def __init__(self, num_blocks: int, block_size: int) -> None:
+        if num_blocks <= 0:
+            raise TableError(f"target must cover at least 1 block, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+
+    @abstractmethod
+    def read(self, block: int) -> bytes:
+        """Read virtual *block* (0-based within this target's segment)."""
+
+    @abstractmethod
+    def write(self, block: int, data: bytes) -> None:
+        """Write virtual *block* within this target's segment."""
+
+    def discard(self, block: int) -> None:
+        """Discard hint; targets may ignore it."""
+
+    def flush(self) -> None:
+        """Flush target state to lower devices."""
+
+    @property
+    def target_type(self) -> str:
+        return type(self).__name__.replace("Target", "").lower()
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One line of a dm table: segment [start, start+length) -> target."""
+
+    start: int
+    length: int
+    target: Target
+
+
+class DMDevice(BlockDevice):
+    """A virtual block device assembled from a device-mapper table.
+
+    The table must tile the virtual device exactly: segments sorted,
+    contiguous, non-overlapping, first at 0 — the same validation the
+    kernel performs at ``dmsetup create`` time.
+    """
+
+    def __init__(self, name: str, table: Sequence[TableEntry], block_size: int) -> None:
+        validated = _validate_table(table, block_size)
+        total = validated[-1].start + validated[-1].length
+        super().__init__(total, block_size)
+        self.name = name
+        self._table: List[TableEntry] = validated
+
+    @property
+    def table(self) -> List[TableEntry]:
+        return list(self._table)
+
+    def _lookup(self, block: int) -> tuple:
+        """Locate (entry, offset-within-target) for a virtual block."""
+        lo, hi = 0, len(self._table) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            entry = self._table[mid]
+            if block < entry.start:
+                hi = mid - 1
+            elif block >= entry.start + entry.length:
+                lo = mid + 1
+            else:
+                return entry, block - entry.start
+        raise TableError(f"no table entry covers block {block}")  # pragma: no cover
+
+    def _read(self, block: int) -> bytes:
+        entry, offset = self._lookup(block)
+        return entry.target.read(offset)
+
+    def _write(self, block: int, data: bytes) -> None:
+        entry, offset = self._lookup(block)
+        entry.target.write(offset, data)
+
+    def _discard(self, block: int) -> None:
+        entry, offset = self._lookup(block)
+        entry.target.discard(offset)
+
+    def _flush(self) -> None:
+        for entry in self._table:
+            entry.target.flush()
+
+
+def _validate_table(table: Sequence[TableEntry], block_size: int) -> List[TableEntry]:
+    if not table:
+        raise TableError("device-mapper table is empty")
+    entries = sorted(table, key=lambda e: e.start)
+    expected_start = 0
+    for entry in entries:
+        if entry.start != expected_start:
+            raise TableError(
+                f"table gap/overlap: segment starts at {entry.start}, "
+                f"expected {expected_start}"
+            )
+        if entry.length != entry.target.num_blocks:
+            raise TableError(
+                f"segment length {entry.length} != target size "
+                f"{entry.target.num_blocks}"
+            )
+        if entry.target.block_size != block_size:
+            raise TableError(
+                f"target block size {entry.target.block_size} != device "
+                f"block size {block_size}"
+            )
+        expected_start = entry.start + entry.length
+    return entries
+
+
+def single_target_device(name: str, target: Target) -> DMDevice:
+    """Convenience: a dm device whose table is one target at offset 0."""
+    return DMDevice(
+        name,
+        [TableEntry(start=0, length=target.num_blocks, target=target)],
+        target.block_size,
+    )

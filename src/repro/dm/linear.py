@@ -1,0 +1,46 @@
+"""dm-linear and dm-zero targets."""
+
+from __future__ import annotations
+
+from repro.blockdev.device import BlockDevice
+from repro.dm.core import Target
+from repro.errors import TableError
+
+
+class LinearTarget(Target):
+    """Map a segment 1:1 onto a contiguous range of a lower device."""
+
+    def __init__(self, device: BlockDevice, offset: int, num_blocks: int) -> None:
+        if offset < 0 or offset + num_blocks > device.num_blocks:
+            raise TableError(
+                f"linear target [{offset}, {offset + num_blocks}) exceeds lower "
+                f"device of {device.num_blocks} blocks"
+            )
+        super().__init__(num_blocks, device.block_size)
+        self._device = device
+        self._offset = offset
+
+    def read(self, block: int) -> bytes:
+        return self._device.read_block(self._offset + block)
+
+    def write(self, block: int, data: bytes) -> None:
+        self._device.write_block(self._offset + block, data)
+
+    def discard(self, block: int) -> None:
+        self._device.discard(self._offset + block)
+
+    def flush(self) -> None:
+        self._device.flush()
+
+
+class ZeroTarget(Target):
+    """Reads return zeroes; writes are swallowed (like /dev/zero)."""
+
+    def __init__(self, num_blocks: int, block_size: int) -> None:
+        super().__init__(num_blocks, block_size)
+
+    def read(self, block: int) -> bytes:
+        return b"\x00" * self.block_size
+
+    def write(self, block: int, data: bytes) -> None:
+        pass

@@ -1,0 +1,28 @@
+"""Thin provisioning: metadata, allocation strategies, pool and thin targets."""
+
+from repro.dm.thin.allocation import (
+    Allocator,
+    RandomAllocator,
+    SequentialAllocator,
+    make_allocator,
+)
+from repro.dm.thin.bitmap import Bitmap
+from repro.dm.thin.metadata import MetadataStore, PoolMetadata, VolumeRecord
+from repro.dm.thin.pool import PoolStats, ThinCosts, ThinPool
+from repro.dm.thin.thin import ThinDevice, ThinTarget
+
+__all__ = [
+    "Allocator",
+    "RandomAllocator",
+    "SequentialAllocator",
+    "make_allocator",
+    "Bitmap",
+    "MetadataStore",
+    "PoolMetadata",
+    "VolumeRecord",
+    "PoolStats",
+    "ThinCosts",
+    "ThinPool",
+    "ThinDevice",
+    "ThinTarget",
+]

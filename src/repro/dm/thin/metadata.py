@@ -1,0 +1,224 @@
+"""Thin-pool on-disk metadata.
+
+The metadata device holds everything the paper's storage-layout figure puts
+in the metadata part: the global block bitmap, each virtual volume's size,
+and its virtual→physical block mappings (Fig. 3). The layout here is:
+
+* block 0 — superblock: magic, version, active generation, payload length
+  and SHA-256, transaction id;
+* two *generation areas* (A/B) of equal size after the superblock.
+
+A commit serializes the whole metadata payload into the **inactive** area
+and then atomically flips the superblock to point at it (shadow paging).
+A crash between the area write and the superblock write leaves the previous
+generation intact — crash-consistency tests exploit this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.blockdev.device import BlockDevice
+from repro.dm.thin.bitmap import Bitmap
+from repro.errors import MetadataError, MetadataFullError
+
+MAGIC = b"THINMETA"
+VERSION = 2
+
+# superblock: magic(8) version(u32) generation(u32) payload_len(u64)
+#             payload_sha(32) tx_id(u64) header_sha(32)
+_SUPER = struct.Struct("<8sIIQ32sQ")
+_HEADER_DIGEST_LEN = 32
+
+
+@dataclass
+class VolumeRecord:
+    """In-memory record of one thin volume."""
+
+    vol_id: int
+    virtual_blocks: int
+    mappings: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def provisioned_blocks(self) -> int:
+        return len(self.mappings)
+
+
+@dataclass
+class PoolMetadata:
+    """The full in-memory metadata state of a thin pool."""
+
+    num_data_blocks: int
+    bitmap: Bitmap
+    volumes: Dict[int, VolumeRecord]
+    transaction_id: int = 0
+
+    @classmethod
+    def fresh(cls, num_data_blocks: int) -> "PoolMetadata":
+        return cls(
+            num_data_blocks=num_data_blocks,
+            bitmap=Bitmap(num_data_blocks),
+            volumes={},
+            transaction_id=0,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_payload(self) -> bytes:
+        """Serialize to the generation-area payload format."""
+        parts = [struct.pack("<Q", self.num_data_blocks)]
+        parts.append(self.bitmap.to_bytes())
+        parts.append(struct.pack("<I", len(self.volumes)))
+        for vol_id in sorted(self.volumes):
+            record = self.volumes[vol_id]
+            parts.append(
+                struct.pack("<IQQ", record.vol_id, record.virtual_blocks,
+                            len(record.mappings))
+            )
+            for vblock in sorted(record.mappings):
+                parts.append(struct.pack("<QQ", vblock, record.mappings[vblock]))
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "PoolMetadata":
+        view = memoryview(payload)
+        offset = 0
+
+        def take(n: int) -> memoryview:
+            nonlocal offset
+            if offset + n > len(view):
+                raise MetadataError("metadata payload truncated")
+            chunk = view[offset : offset + n]
+            offset += n
+            return chunk
+
+        (num_data_blocks,) = struct.unpack("<Q", take(8))
+        bitmap_len = (num_data_blocks + 7) // 8
+        bitmap = Bitmap.from_bytes(num_data_blocks, bytes(take(bitmap_len)))
+        (num_volumes,) = struct.unpack("<I", take(4))
+        volumes: Dict[int, VolumeRecord] = {}
+        for _ in range(num_volumes):
+            vol_id, virtual_blocks, num_mappings = struct.unpack("<IQQ", take(20))
+            mappings: Dict[int, int] = {}
+            for _ in range(num_mappings):
+                vblock, pblock = struct.unpack("<QQ", take(16))
+                if pblock >= num_data_blocks:
+                    raise MetadataError(
+                        f"mapping {vblock}->{pblock} beyond data device"
+                    )
+                if not bitmap.test(pblock):
+                    raise MetadataError(
+                        f"mapped block {pblock} not marked in bitmap"
+                    )
+                mappings[vblock] = pblock
+            volumes[vol_id] = VolumeRecord(vol_id, virtual_blocks, mappings)
+        return cls(
+            num_data_blocks=num_data_blocks,
+            bitmap=bitmap,
+            volumes=volumes,
+        )
+
+
+class MetadataStore:
+    """Shadow-paged persistence of :class:`PoolMetadata` on a block device."""
+
+    def __init__(self, device: BlockDevice) -> None:
+        if device.num_blocks < 3:
+            raise MetadataError("metadata device needs at least 3 blocks")
+        self._device = device
+        self._area_blocks = (device.num_blocks - 1) // 2
+        self._area_starts = (1, 1 + self._area_blocks)
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Maximum payload size one generation area can hold."""
+        return self._area_blocks * self._device.block_size
+
+    # -- superblock -----------------------------------------------------------
+
+    def _pack_super(self, generation: int, payload: bytes, tx_id: int) -> bytes:
+        header = _SUPER.pack(
+            MAGIC,
+            VERSION,
+            generation,
+            len(payload),
+            hashlib.sha256(payload).digest(),
+            tx_id,
+        )
+        digest = hashlib.sha256(header).digest()
+        block = header + digest
+        return block + b"\x00" * (self._device.block_size - len(block))
+
+    def _read_super(self) -> tuple:
+        raw = self._device.read_block(0)
+        header = raw[: _SUPER.size]
+        digest = raw[_SUPER.size : _SUPER.size + _HEADER_DIGEST_LEN]
+        magic, version, generation, payload_len, payload_sha, tx_id = _SUPER.unpack(
+            header
+        )
+        if magic != MAGIC:
+            raise MetadataError("bad metadata magic (device not formatted?)")
+        if version != VERSION:
+            raise MetadataError(f"unsupported metadata version {version}")
+        if hashlib.sha256(header).digest() != digest:
+            raise MetadataError("superblock checksum mismatch")
+        if generation not in (0, 1):
+            raise MetadataError(f"bad generation {generation}")
+        return generation, payload_len, payload_sha, tx_id
+
+    # -- public API -------------------------------------------------------------
+
+    def is_formatted(self) -> bool:
+        try:
+            self._read_super()
+            return True
+        except MetadataError:
+            return False
+
+    def format(self, metadata: PoolMetadata) -> None:
+        """Write a fresh metadata layout (generation 0)."""
+        self._write_generation(0, metadata)
+
+    def commit(self, metadata: PoolMetadata) -> None:
+        """Persist *metadata* into the inactive area and flip the superblock."""
+        generation, _, _, _ = self._read_super()
+        metadata.transaction_id += 1
+        self._write_generation(1 - generation, metadata)
+
+    def _write_generation(self, generation: int, metadata: PoolMetadata) -> None:
+        payload = metadata.to_payload()
+        if len(payload) > self.capacity_bytes:
+            raise MetadataFullError(
+                f"metadata payload {len(payload)} bytes exceeds area capacity "
+                f"{self.capacity_bytes}"
+            )
+        start = self._area_starts[generation]
+        bs = self._device.block_size
+        padded = payload + b"\x00" * (-len(payload) % bs)
+        for i in range(len(padded) // bs):
+            self._device.write_block(start + i, padded[i * bs : (i + 1) * bs])
+        self._device.write_block(
+            0, self._pack_super(generation, payload, metadata.transaction_id)
+        )
+        self._device.flush()
+
+    def load(self) -> PoolMetadata:
+        """Load and verify the active generation."""
+        generation, payload_len, payload_sha, tx_id = self._read_super()
+        start = self._area_starts[generation]
+        bs = self._device.block_size
+        nblocks = -(-payload_len // bs) if payload_len else 0
+        raw = b"".join(self._device.read_block(start + i) for i in range(nblocks))
+        payload = raw[:payload_len]
+        if hashlib.sha256(payload).digest() != payload_sha:
+            raise MetadataError("metadata payload checksum mismatch")
+        metadata = PoolMetadata.from_payload(payload)
+        metadata.transaction_id = tx_id
+        return metadata

@@ -1,0 +1,68 @@
+"""The thin target: a virtual volume backed by a thin pool."""
+
+from __future__ import annotations
+
+from repro.blockdev.device import BlockDevice
+from repro.dm.core import Target
+from repro.dm.thin.metadata import VolumeRecord
+from repro.dm.thin.pool import ThinPool
+
+
+class ThinDevice(BlockDevice):
+    """A thin volume exposed as a block device.
+
+    Reads of never-written blocks return zeroes (thin volumes occupy no
+    space until written — the property MobiCeal exploits to hide a volume
+    among dummy volumes at zero cost). Writes provision data blocks from the
+    pool, firing the dummy-write hook when one is installed.
+    """
+
+    def __init__(self, pool: ThinPool, record: VolumeRecord) -> None:
+        super().__init__(record.virtual_blocks, pool.block_size)
+        self._pool = pool
+        self._record = record
+
+    @property
+    def vol_id(self) -> int:
+        return self._record.vol_id
+
+    @property
+    def pool(self) -> ThinPool:
+        return self._pool
+
+    @property
+    def provisioned_blocks(self) -> int:
+        return self._record.provisioned_blocks
+
+    def _read(self, block: int) -> bytes:
+        return self._pool.read_mapped(self._record, block)
+
+    def _write(self, block: int, data: bytes) -> None:
+        self._pool.write_mapped(self._record, block, data)
+
+    def _discard(self, block: int) -> None:
+        self._pool.discard_mapped(self._record, block)
+
+    def _flush(self) -> None:
+        self._pool.flush()
+
+
+class ThinTarget(Target):
+    """dm table wrapper so thin volumes can appear in device-mapper tables."""
+
+    def __init__(self, pool: ThinPool, vol_id: int) -> None:
+        record = pool.volume_record(vol_id)
+        super().__init__(record.virtual_blocks, pool.block_size)
+        self._device = ThinDevice(pool, record)
+
+    def read(self, block: int) -> bytes:
+        return self._device.read_block(block)
+
+    def write(self, block: int, data: bytes) -> None:
+        self._device.write_block(block, data)
+
+    def discard(self, block: int) -> None:
+        self._device.discard(block)
+
+    def flush(self) -> None:
+        self._device.flush()

@@ -1,0 +1,37 @@
+"""Filesystem substrate: VFS interface plus ext4-like and FAT32-like implementations."""
+
+from repro.fs.ext4 import Ext4Filesystem
+from repro.fs.fat32 import Fat32Filesystem
+from repro.fs.fsck import fsck_ext4, fsck_fat32
+from repro.fs.tmpfs import TmpFilesystem
+from repro.fs.vfs import (
+    FileHandle,
+    FileStat,
+    Filesystem,
+    FsUsage,
+    parent_and_name,
+    split_path,
+)
+
+__all__ = [
+    "Ext4Filesystem",
+    "Fat32Filesystem",
+    "fsck_ext4",
+    "fsck_fat32",
+    "TmpFilesystem",
+    "FileHandle",
+    "FileStat",
+    "FsUsage",
+    "Filesystem",
+    "parent_and_name",
+    "split_path",
+]
+
+
+def make_filesystem(fstype: str, device) -> Filesystem:
+    """Factory keyed by name: ``"ext4"`` or ``"fat32"``."""
+    if fstype == "ext4":
+        return Ext4Filesystem(device)
+    if fstype == "fat32":
+        return Fat32Filesystem(device)
+    raise ValueError(f"unknown filesystem type: {fstype!r}")

@@ -1,0 +1,548 @@
+"""A simplified FAT32-style filesystem.
+
+FAT's defining property for the paper is **strictly sequential allocation
+from the beginning of the disk** — it is the filesystem for which the
+classic hidden-volume trick (hidden volume at a secret offset near the end)
+works, and whose allocation behaviour the MobiPluto-style baseline assumes.
+This implementation keeps a file allocation table of cluster chains
+(1 cluster = 1 block) and always allocates the lowest-numbered free
+cluster.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.blockdev.device import BlockDevice
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileExistsInFS,
+    FileNotFoundInFS,
+    FilesystemError,
+    IsADirectoryFSError,
+    NoSpaceError,
+    NotADirectoryFSError,
+    NotFormattedError,
+)
+from repro.fs.vfs import (
+    FileHandle,
+    FileStat,
+    Filesystem,
+    FsUsage,
+    parent_and_name,
+    split_path,
+)
+
+MAGIC = b"FAT32SIM"
+VERSION = 1
+
+FAT_FREE = 0
+FAT_EOC = 0xFFFFFFFF
+
+_BOOT = struct.Struct("<8sIIQII")
+_ENTRY_HEAD = struct.Struct("<IQBH")  # first_cluster+1 (0 = none), size, is_dir, namelen
+
+
+@dataclass
+class _Entry:
+    name: str
+    first_cluster: Optional[int]  # None when the file has no clusters yet
+    size: int
+    is_dir: bool
+
+
+class Fat32Filesystem(Filesystem):
+    """See module docstring. The root directory lives at cluster 0."""
+
+    fstype = "fat32"
+
+    def __init__(self, device: BlockDevice) -> None:
+        self._device = device
+        self._bs = device.block_size
+        entries_per_block = self._bs // 4
+        # Solve for fat_blocks so FAT + data fit the device.
+        total = device.num_blocks - 1
+        fat_blocks = -(-total // (entries_per_block + 1))
+        self._fat_start = 1
+        self._fat_blocks = fat_blocks
+        self._data_start = 1 + fat_blocks
+        self._clusters = device.num_blocks - self._data_start
+        if self._clusters < 4:
+            raise FilesystemError("device too small for FAT32")
+        self._fat: List[int] = []
+        self._fat_dirty = False
+        self._mounted = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def format(self) -> None:
+        self._fat = [FAT_FREE] * self._clusters
+        self._fat[0] = FAT_EOC  # root directory, initially one empty cluster
+        self._device.write_block(self._data_start, b"\x00" * self._bs)
+        self._fat_dirty = True
+        self._mounted = True
+        self._root_size = 0
+        self._write_boot()
+        self.flush()
+        self._mounted = False
+
+    def _write_boot(self) -> None:
+        raw = _BOOT.pack(
+            MAGIC, VERSION, self._bs, self._device.num_blocks,
+            self._fat_blocks, self._clusters,
+        )
+        self._device.write_block(0, raw + b"\x00" * (self._bs - len(raw)))
+
+    def mount(self) -> None:
+        if self._mounted:
+            raise FilesystemError("already mounted")
+        raw = self._device.read_block(0)
+        magic, version, bs, blocks, fat_blocks, clusters = _BOOT.unpack(
+            raw[: _BOOT.size]
+        )
+        if magic != MAGIC:
+            raise NotFormattedError("no FAT32 boot sector found")
+        if version != VERSION or bs != self._bs or blocks != self._device.num_blocks:
+            raise NotFormattedError("boot sector geometry mismatch")
+        self._fat_blocks = fat_blocks
+        self._data_start = 1 + fat_blocks
+        self._clusters = clusters
+        entries_per_block = self._bs // 4
+        self._fat = []
+        for i in range(fat_blocks):
+            raw = self._device.read_block(self._fat_start + i)
+            self._fat.extend(struct.unpack(f"<{entries_per_block}I", raw))
+        self._fat = self._fat[: self._clusters]
+        self._fat_dirty = False
+        self._mounted = True
+
+    def flush(self) -> None:
+        if self._fat_dirty:
+            entries_per_block = self._bs // 4
+            padded = self._fat + [FAT_FREE] * (
+                self._fat_blocks * entries_per_block - len(self._fat)
+            )
+            for i in range(self._fat_blocks):
+                chunk = padded[i * entries_per_block : (i + 1) * entries_per_block]
+                self._device.write_block(
+                    self._fat_start + i, struct.pack(f"<{entries_per_block}I", *chunk)
+                )
+            self._fat_dirty = False
+        self._device.flush()
+
+    def unmount(self) -> None:
+        if not self._mounted:
+            raise FilesystemError("not mounted")
+        self.flush()
+        self._mounted = False
+
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise FilesystemError("filesystem is not mounted")
+
+    # -- cluster chains ------------------------------------------------------------
+
+    def _cluster_block(self, cluster: int) -> int:
+        return self._data_start + cluster
+
+    def _allocate_cluster(self) -> int:
+        """Lowest-numbered free cluster — FAT's sequential placement."""
+        for cluster in range(self._clusters):
+            if self._fat[cluster] == FAT_FREE:
+                self._fat[cluster] = FAT_EOC
+                self._fat_dirty = True
+                return cluster
+        raise NoSpaceError("no free clusters")
+
+    def _chain(self, first: Optional[int]) -> List[int]:
+        clusters = []
+        cluster = first
+        while cluster is not None and cluster != FAT_EOC:
+            if not 0 <= cluster < self._clusters:
+                raise FilesystemError(f"corrupt FAT chain at cluster {cluster}")
+            clusters.append(cluster)
+            nxt = self._fat[cluster]
+            if nxt == FAT_FREE:
+                raise FilesystemError(f"chain enters free cluster after {cluster}")
+            cluster = None if nxt == FAT_EOC else nxt
+        return clusters
+
+    def _free_chain(self, first: Optional[int]) -> None:
+        for cluster in self._chain(first):
+            self._fat[cluster] = FAT_FREE
+        self._fat_dirty = True
+
+    def _extend_chain(self, chain: List[int]) -> int:
+        new = self._allocate_cluster()
+        if chain:
+            self._fat[chain[-1]] = new
+        self._fat_dirty = True
+        chain.append(new)
+        return new
+
+    def free_cluster_count(self) -> int:
+        self._require_mounted()
+        return sum(1 for value in self._fat if value == FAT_FREE)
+
+    # -- chain content I/O ------------------------------------------------------------
+
+    def _read_chain_range(
+        self, first: Optional[int], size: int, offset: int, nbytes: int
+    ) -> bytes:
+        end = min(offset + nbytes, size)
+        if offset >= end:
+            return b""
+        chain = self._chain(first)
+        out = bytearray()
+        pos = offset
+        while pos < end:
+            index, within = divmod(pos, self._bs)
+            take = min(self._bs - within, end - pos)
+            raw = self._device.read_block(self._cluster_block(chain[index]))
+            out.extend(raw[within : within + take])
+            pos += take
+        return bytes(out)
+
+    def _write_chain_range(
+        self, first: Optional[int], offset: int, data: bytes
+    ) -> Optional[int]:
+        """Write into a chain, extending it; returns the (possibly new) head."""
+        chain = self._chain(first)
+        original_len = len(chain)
+        pos = offset
+        cursor = 0
+        while cursor < len(data):
+            index, within = divmod(pos, self._bs)
+            while index >= len(chain):
+                self._extend_chain(chain)
+            block = self._cluster_block(chain[index])
+            take = min(self._bs - within, len(data) - cursor)
+            if within == 0 and take == self._bs:
+                self._device.write_block(block, data[cursor : cursor + take])
+            else:
+                if index >= original_len:
+                    # freshly allocated cluster: zero-based, page-cache
+                    # style — never read back stale device contents
+                    raw = bytearray(self._bs)
+                else:
+                    raw = bytearray(self._device.read_block(block))
+                raw[within : within + take] = data[cursor : cursor + take]
+                self._device.write_block(block, bytes(raw))
+            pos += take
+            cursor += take
+        return chain[0] if chain else None
+
+    # -- directories ----------------------------------------------------------------
+
+    def _read_dir(self, entry: _Entry) -> Dict[str, _Entry]:
+        raw = self._read_chain_range(entry.first_cluster, entry.size, 0, entry.size)
+        entries: Dict[str, _Entry] = {}
+        offset = 0
+        while offset < len(raw):
+            first_plus1, size, is_dir, name_len = _ENTRY_HEAD.unpack(
+                raw[offset : offset + _ENTRY_HEAD.size]
+            )
+            offset += _ENTRY_HEAD.size
+            name = raw[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            entries[name] = _Entry(
+                name=name,
+                first_cluster=None if first_plus1 == 0 else first_plus1 - 1,
+                size=size,
+                is_dir=bool(is_dir),
+            )
+        return entries
+
+    def _write_dir(self, entry: _Entry, entries: Dict[str, _Entry]) -> None:
+        parts = []
+        for name in sorted(entries):
+            child = entries[name]
+            encoded = name.encode("utf-8")
+            first_plus1 = 0 if child.first_cluster is None else child.first_cluster + 1
+            parts.append(
+                _ENTRY_HEAD.pack(first_plus1, child.size, int(child.is_dir),
+                                 len(encoded))
+            )
+            parts.append(encoded)
+        payload = b"".join(parts)
+        if len(payload) < entry.size and entry.first_cluster is not None:
+            # free the tail clusters beyond the new payload
+            keep = max(1, -(-len(payload) // self._bs)) if payload else 1
+            chain = self._chain(entry.first_cluster)
+            for cluster in chain[keep:]:
+                self._fat[cluster] = FAT_FREE
+            if len(chain) > keep:
+                self._fat[chain[keep - 1]] = FAT_EOC
+                self._fat_dirty = True
+        # Zero-pad to the cluster boundary so stale (deleted) entry bytes can
+        # never be re-parsed by the self-delimiting root-directory scan.
+        pad = -len(payload) % self._bs
+        if not payload:
+            pad = self._bs  # keep one zeroed cluster for an empty directory
+        padded = payload + b"\x00" * pad
+        head = self._write_chain_range(entry.first_cluster, 0, padded)
+        entry.first_cluster = head if head is not None else entry.first_cluster
+        entry.size = len(payload)
+
+    def _root_entry(self) -> _Entry:
+        # Root size is not in the boot sector; recover it by scanning the
+        # chain and trusting the entry stream's self-delimiting format.
+        chain = self._chain(0)
+        raw = b"".join(
+            self._device.read_block(self._cluster_block(c)) for c in chain
+        )
+        size = 0
+        while size < len(raw):
+            header = raw[size : size + _ENTRY_HEAD.size]
+            if len(header) < _ENTRY_HEAD.size:
+                break
+            first_plus1, _fsize, _is_dir, name_len = _ENTRY_HEAD.unpack(header)
+            if first_plus1 == 0 and _fsize == 0 and name_len == 0:
+                break
+            size += _ENTRY_HEAD.size + name_len
+        return _Entry(name="/", first_cluster=0, size=size, is_dir=True)
+
+    def _resolve(self, path: str) -> _Entry:
+        self._require_mounted()
+        entry = self._root_entry()
+        for part in split_path(path):
+            if not entry.is_dir:
+                raise NotADirectoryFSError(path)
+            entries = self._read_dir(entry)
+            if part not in entries:
+                raise FileNotFoundInFS(path)
+            entry = entries[part]
+        return entry
+
+    def _resolve_parent(self, path: str) -> tuple:
+        parent_path, name = parent_and_name(path)
+        parent = self._resolve(parent_path)
+        if not parent.is_dir:
+            raise NotADirectoryFSError(parent_path)
+        return parent, name, parent_path
+
+    def _update_entry(self, parent_path: str, child: _Entry) -> None:
+        """Persist a modified *child* entry into the directory *parent_path*."""
+        if parent_path == "/":
+            parent = self._root_entry()
+        else:
+            parent = self._resolve(parent_path)
+        entries = self._read_dir(parent)
+        entries[child.name] = child
+        self._write_dir(parent, entries)
+        if parent_path != "/":
+            # parent's own entry (size/cluster) may have changed, recurse up
+            grandparent_path, _ = parent_and_name(parent_path)
+            self._update_entry(grandparent_path, parent)
+
+    def _persist_dir(self, dir_path: str, dir_entry: _Entry) -> None:
+        """Persist a directory whose chain head/size just changed.
+
+        The root's chain head is fixed at cluster 0 and its size is
+        recovered by scanning, so it needs no persistence; any other
+        directory's entry lives in its container directory.
+        """
+        if dir_path == "/":
+            return
+        container_path, _ = parent_and_name(dir_path)
+        self._update_entry(container_path, dir_entry)
+
+    # -- Filesystem API -----------------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        parent, name, parent_path = self._resolve_parent(path)
+        entries = self._read_dir(parent)
+        if name in entries:
+            raise FileExistsInFS(path)
+        entries[name] = _Entry(name=name, first_cluster=None, size=0, is_dir=True)
+        self._write_dir(parent, entries)
+        self._persist_dir(parent_path, parent)
+
+    def rmdir(self, path: str) -> None:
+        parent, name, parent_path = self._resolve_parent(path)
+        entries = self._read_dir(parent)
+        if name not in entries:
+            raise FileNotFoundInFS(path)
+        child = entries[name]
+        if not child.is_dir:
+            raise NotADirectoryFSError(path)
+        if self._read_dir(child):
+            raise DirectoryNotEmptyError(path)
+        self._free_chain(child.first_cluster)
+        del entries[name]
+        self._write_dir(parent, entries)
+        self._persist_dir(parent_path, parent)
+
+    def listdir(self, path: str) -> List[str]:
+        entry = self._resolve(path)
+        if not entry.is_dir:
+            raise NotADirectoryFSError(path)
+        return sorted(self._read_dir(entry))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(path)
+            return True
+        except (FileNotFoundInFS, NotADirectoryFSError):
+            return False
+
+    def stat(self, path: str) -> FileStat:
+        entry = self._resolve(path)
+        blocks = len(self._chain(entry.first_cluster))
+        return FileStat(
+            path=path, is_dir=entry.is_dir, size=entry.size, blocks=blocks
+        )
+
+    def unlink(self, path: str) -> None:
+        parent, name, parent_path = self._resolve_parent(path)
+        entries = self._read_dir(parent)
+        if name not in entries:
+            raise FileNotFoundInFS(path)
+        child = entries[name]
+        if child.is_dir:
+            raise IsADirectoryFSError(path)
+        self._free_chain(child.first_cluster)
+        del entries[name]
+        self._write_dir(parent, entries)
+        self._persist_dir(parent_path, parent)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        old_parent, old_name, old_parent_path = self._resolve_parent(old_path)
+        old_entries = self._read_dir(old_parent)
+        if old_name not in old_entries:
+            raise FileNotFoundInFS(old_path)
+        if new_path.rstrip("/").startswith(old_path.rstrip("/") + "/"):
+            raise FilesystemError("cannot move a directory into itself")
+        new_parent, new_name, new_parent_path = self._resolve_parent(new_path)
+        if new_name in self._read_dir(new_parent):
+            raise FileExistsInFS(new_path)
+        entry = old_entries.pop(old_name)
+        self._write_dir(old_parent, old_entries)
+        self._persist_dir(old_parent_path, old_parent)
+        # re-resolve: the source update may have relocated directory chains
+        if new_parent_path == old_parent_path:
+            new_parent = old_parent
+        else:
+            new_parent = (
+                self._root_entry() if new_parent_path == "/"
+                else self._resolve(new_parent_path)
+            )
+        new_entries = self._read_dir(new_parent)
+        moved = _Entry(
+            name=new_name,
+            first_cluster=entry.first_cluster,
+            size=entry.size,
+            is_dir=entry.is_dir,
+        )
+        new_entries[new_name] = moved
+        self._write_dir(new_parent, new_entries)
+        self._persist_dir(new_parent_path, new_parent)
+
+    def statfs(self) -> FsUsage:
+        self._require_mounted()
+        return FsUsage(
+            block_size=self._bs,
+            total_blocks=self._clusters,
+            free_blocks=self.free_cluster_count(),
+        )
+
+    def open(self, path: str, mode: str = "r") -> FileHandle:
+        if mode not in ("r", "w", "a"):
+            raise FilesystemError(f"bad open mode {mode!r}")
+        self._require_mounted()
+        if mode == "r":
+            entry = self._resolve(path)
+            if entry.is_dir:
+                raise IsADirectoryFSError(path)
+            _, name = parent_and_name(path)
+            parent_path = parent_and_name(path)[0]
+            return _FatHandle(self, entry, parent_path, readable=True, position=0)
+        parent, name, parent_path = self._resolve_parent(path)
+        entries = self._read_dir(parent)
+        if name in entries:
+            entry = entries[name]
+            if entry.is_dir:
+                raise IsADirectoryFSError(path)
+            if mode == "w":
+                self._free_chain(entry.first_cluster)
+                entry.first_cluster = None
+                entry.size = 0
+                self._update_entry(parent_path, entry)
+        else:
+            entry = _Entry(name=name, first_cluster=None, size=0, is_dir=False)
+            entries[name] = entry
+            self._write_dir(parent, entries)
+            self._persist_dir(parent_path, parent)
+        position = entry.size if mode == "a" else 0
+        return _FatHandle(self, entry, parent_path, readable=False, position=position)
+
+
+class _FatHandle(FileHandle):
+    def __init__(
+        self,
+        fs: Fat32Filesystem,
+        entry: _Entry,
+        parent_path: str,
+        readable: bool,
+        position: int,
+    ) -> None:
+        self._fs = fs
+        self._entry = entry
+        self._parent_path = parent_path
+        self._readable = readable
+        self._pos = position
+        self._closed = False
+        self._dirty = False
+
+    def _check(self) -> None:
+        if self._closed:
+            raise FilesystemError("handle is closed")
+
+    def read(self, nbytes: int = -1) -> bytes:
+        self._check()
+        if not self._readable:
+            raise FilesystemError("handle not opened for reading")
+        if nbytes < 0:
+            nbytes = self._entry.size - self._pos
+        data = self._fs._read_chain_range(
+            self._entry.first_cluster, self._entry.size, self._pos, nbytes
+        )
+        self._pos += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        self._check()
+        if self._readable:
+            raise FilesystemError("handle not opened for writing")
+        head = self._fs._write_chain_range(
+            self._entry.first_cluster, self._pos, data
+        )
+        if head is not None:
+            self._entry.first_cluster = head
+        self._pos += len(data)
+        if self._pos > self._entry.size:
+            self._entry.size = self._pos
+        self._dirty = True
+        return len(data)
+
+    def seek(self, offset: int) -> None:
+        self._check()
+        if offset < 0:
+            raise FilesystemError("negative seek")
+        self._pos = offset
+
+    def tell(self) -> int:
+        return self._pos
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._dirty:
+            self._fs._update_entry(self._parent_path, self._entry)
+        self._closed = True

@@ -1,0 +1,135 @@
+"""Filesystem consistency checkers (fsck).
+
+Used by the crash-consistency and property-based tests: after arbitrary
+operation sequences (and simulated crashes), the on-disk structures must
+stay internally consistent. Each checker returns a list of human-readable
+inconsistency descriptions; an empty list means the filesystem is clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.fs.ext4 import MODE_DIR, MODE_FILE, Ext4Filesystem
+from repro.fs.fat32 import FAT_EOC, FAT_FREE, Fat32Filesystem
+
+
+def fsck_ext4(fs: Ext4Filesystem) -> List[str]:
+    """Cross-check the ext4 namespace against its bitmaps.
+
+    Verifies that (1) every block reachable from the root is marked
+    allocated exactly once, (2) no two files share a block, (3) the block
+    bitmap marks nothing beyond metadata + reachable blocks, and (4) the
+    inode bitmap agrees with the set of reachable inodes.
+    """
+    issues: List[str] = []
+    if not fs.mounted:
+        issues.append("filesystem is not mounted")
+        return issues
+
+    reachable_inodes: Set[int] = set()
+    block_owners: Dict[int, int] = {}
+
+    def visit(inode_number: int, path: str) -> None:
+        if inode_number in reachable_inodes:
+            issues.append(f"inode {inode_number} reached twice (at {path})")
+            return
+        reachable_inodes.add(inode_number)
+        inode = fs._load_inode(inode_number)
+        if inode.mode not in (MODE_FILE, MODE_DIR):
+            issues.append(f"inode {inode_number} has bad mode {inode.mode}")
+            return
+        for block, _is_data in fs._iter_file_blocks(inode):
+            if block in block_owners:
+                issues.append(
+                    f"block {block} shared by inodes {block_owners[block]} "
+                    f"and {inode_number}"
+                )
+            block_owners[block] = inode_number
+        if inode.mode == MODE_DIR:
+            for name, child in fs._read_dir_entries(inode).items():
+                visit(child, f"{path.rstrip('/')}/{name}")
+
+    visit(1, "/")
+
+    # every owned block must be marked in the bitmap
+    for block in block_owners:
+        group = (block - 1) // fs._bpg
+        offset = (block - 1) % fs._bpg
+        if not fs._bit(fs._bbm(group), offset):
+            issues.append(f"block {block} in use but free in bitmap")
+
+    # every marked non-metadata block must be owned
+    for group in range(fs._groups):
+        bitmap = fs._bbm(group)
+        for offset in range(fs._bpg):
+            block = fs._group_start(group) + offset
+            marked = fs._bit(bitmap, offset)
+            is_meta = offset < fs._meta_per_group
+            if marked and not is_meta and block not in block_owners:
+                issues.append(f"block {block} marked allocated but unreachable")
+            if not marked and is_meta:
+                issues.append(f"metadata block {block} not marked allocated")
+
+    # inode bitmap agreement
+    for group in range(fs._groups):
+        bitmap = fs._ibm(group)
+        for offset in range(fs._ipg):
+            number = group * fs._ipg + offset + 1
+            marked = fs._bit(bitmap, offset)
+            if marked and number not in reachable_inodes:
+                issues.append(f"inode {number} marked in use but unreachable")
+            if not marked and number in reachable_inodes:
+                issues.append(f"inode {number} reachable but marked free")
+    return issues
+
+
+def fsck_fat32(fs: Fat32Filesystem) -> List[str]:
+    """Cross-check the FAT against the directory tree.
+
+    Verifies that (1) every chain reachable from the root terminates at
+    EOC without touching a free cluster, (2) no cluster belongs to two
+    chains, and (3) every non-free FAT entry belongs to a reachable chain.
+    """
+    issues: List[str] = []
+    if not fs.mounted:
+        issues.append("filesystem is not mounted")
+        return issues
+
+    cluster_owner: Dict[int, str] = {}
+
+    def claim_chain(first, path: str) -> None:
+        cluster = first
+        seen: Set[int] = set()
+        while cluster is not None and cluster != FAT_EOC:
+            if not 0 <= cluster < fs._clusters:
+                issues.append(f"{path}: chain leaves device at {cluster}")
+                return
+            if cluster in seen:
+                issues.append(f"{path}: chain loops at cluster {cluster}")
+                return
+            seen.add(cluster)
+            if cluster in cluster_owner:
+                issues.append(
+                    f"cluster {cluster} shared by {cluster_owner[cluster]} "
+                    f"and {path}"
+                )
+            cluster_owner[cluster] = path
+            value = fs._fat[cluster]
+            if value == FAT_FREE:
+                issues.append(f"{path}: chain enters free cluster {cluster}")
+                return
+            cluster = None if value == FAT_EOC else value
+
+    def visit(entry, path: str) -> None:
+        claim_chain(entry.first_cluster, path)
+        if entry.is_dir:
+            for name, child in fs._read_dir(entry).items():
+                visit(child, f"{path.rstrip('/')}/{name}")
+
+    visit(fs._root_entry(), "/")
+
+    for cluster, value in enumerate(fs._fat):
+        if value != FAT_FREE and cluster not in cluster_owner:
+            issues.append(f"cluster {cluster} allocated but unreachable")
+    return issues

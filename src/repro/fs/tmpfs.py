@@ -1,0 +1,226 @@
+"""tmpfs: a RAM-backed filesystem.
+
+MobiCeal mounts tmpfs over ``/devlog`` and ``/cache`` before entering the
+hidden mode (Sec. IV-D), so that any traces the framework writes while the
+hidden volume is mounted live only in RAM and vanish on reboot. This
+implementation keeps the whole tree in Python dictionaries — nothing ever
+reaches a block device, which is exactly the leak-prevention property the
+side-channel experiments verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileExistsInFS,
+    FileNotFoundInFS,
+    FilesystemError,
+    IsADirectoryFSError,
+    NotADirectoryFSError,
+)
+from repro.fs.vfs import (
+    FileHandle,
+    FileStat,
+    Filesystem,
+    FsUsage,
+    parent_and_name,
+    split_path,
+)
+
+# A directory is a dict name -> node; a file is a bytearray.
+_Node = Union[Dict[str, object], bytearray]
+
+
+class TmpFilesystem(Filesystem):
+    """An in-RAM filesystem with the standard VFS interface."""
+
+    fstype = "tmpfs"
+
+    def __init__(self) -> None:
+        self._root: Dict[str, object] = {}
+        self._mounted = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def format(self) -> None:
+        self._root = {}
+
+    def mount(self) -> None:
+        if self._mounted:
+            raise FilesystemError("already mounted")
+        self._mounted = True
+
+    def unmount(self) -> None:
+        if not self._mounted:
+            raise FilesystemError("not mounted")
+        self._mounted = False
+
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise FilesystemError("filesystem is not mounted")
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve(self, path: str) -> _Node:
+        self._require_mounted()
+        node: _Node = self._root
+        for part in split_path(path):
+            if not isinstance(node, dict):
+                raise NotADirectoryFSError(path)
+            if part not in node:
+                raise FileNotFoundInFS(path)
+            node = node[part]  # type: ignore[assignment]
+        return node
+
+    def _resolve_dir(self, path: str) -> Dict[str, object]:
+        node = self._resolve(path)
+        if not isinstance(node, dict):
+            raise NotADirectoryFSError(path)
+        return node
+
+    # -- Filesystem API ---------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        parent_path, name = parent_and_name(path)
+        parent = self._resolve_dir(parent_path)
+        if name in parent:
+            raise FileExistsInFS(path)
+        parent[name] = {}
+
+    def rmdir(self, path: str) -> None:
+        parent_path, name = parent_and_name(path)
+        parent = self._resolve_dir(parent_path)
+        if name not in parent:
+            raise FileNotFoundInFS(path)
+        node = parent[name]
+        if not isinstance(node, dict):
+            raise NotADirectoryFSError(path)
+        if node:
+            raise DirectoryNotEmptyError(path)
+        del parent[name]
+
+    def listdir(self, path: str) -> List[str]:
+        return sorted(self._resolve_dir(path))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(path)
+            return True
+        except (FileNotFoundInFS, NotADirectoryFSError):
+            return False
+
+    def stat(self, path: str) -> FileStat:
+        node = self._resolve(path)
+        if isinstance(node, dict):
+            return FileStat(path=path, is_dir=True, size=0, blocks=0)
+        return FileStat(path=path, is_dir=False, size=len(node), blocks=0)
+
+    def unlink(self, path: str) -> None:
+        parent_path, name = parent_and_name(path)
+        parent = self._resolve_dir(parent_path)
+        if name not in parent:
+            raise FileNotFoundInFS(path)
+        if isinstance(parent[name], dict):
+            raise IsADirectoryFSError(path)
+        del parent[name]
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        old_parent_path, old_name = parent_and_name(old_path)
+        parent = self._resolve_dir(old_parent_path)
+        if old_name not in parent:
+            raise FileNotFoundInFS(old_path)
+        if new_path.rstrip("/").startswith(old_path.rstrip("/") + "/"):
+            raise FilesystemError("cannot move a directory into itself")
+        new_parent_path, new_name = parent_and_name(new_path)
+        new_parent = self._resolve_dir(new_parent_path)
+        if new_name in new_parent:
+            raise FileExistsInFS(new_path)
+        new_parent[new_name] = parent.pop(old_name)
+
+    def statfs(self) -> FsUsage:
+        self._require_mounted()
+        # RAM-backed: report byte usage at a nominal 4 KiB granularity
+        used = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for child in node.values():
+                if isinstance(child, dict):
+                    stack.append(child)
+                else:
+                    used += -(-len(child) // 4096)
+        return FsUsage(block_size=4096, total_blocks=used, free_blocks=0)
+
+    def open(self, path: str, mode: str = "r") -> FileHandle:
+        if mode not in ("r", "w", "a"):
+            raise FilesystemError(f"bad open mode {mode!r}")
+        self._require_mounted()
+        if mode == "r":
+            node = self._resolve(path)
+            if isinstance(node, dict):
+                raise IsADirectoryFSError(path)
+            return _TmpHandle(node, readable=True, position=0)
+        parent_path, name = parent_and_name(path)
+        parent = self._resolve_dir(parent_path)
+        node = parent.get(name)
+        if isinstance(node, dict):
+            raise IsADirectoryFSError(path)
+        if node is None:
+            node = bytearray()
+            parent[name] = node
+        elif mode == "w":
+            del node[:]
+        assert isinstance(node, bytearray)
+        position = len(node) if mode == "a" else 0
+        return _TmpHandle(node, readable=False, position=position)
+
+
+class _TmpHandle(FileHandle):
+    def __init__(self, buf: bytearray, readable: bool, position: int) -> None:
+        self._buf = buf
+        self._readable = readable
+        self._pos = position
+        self._closed = False
+
+    def _check(self) -> None:
+        if self._closed:
+            raise FilesystemError("handle is closed")
+
+    def read(self, nbytes: int = -1) -> bytes:
+        self._check()
+        if not self._readable:
+            raise FilesystemError("handle not opened for reading")
+        if nbytes < 0:
+            nbytes = len(self._buf) - self._pos
+        data = bytes(self._buf[self._pos : self._pos + max(nbytes, 0)])
+        self._pos += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        self._check()
+        if self._readable:
+            raise FilesystemError("handle not opened for writing")
+        end = self._pos + len(data)
+        if self._pos > len(self._buf):
+            self._buf.extend(b"\x00" * (self._pos - len(self._buf)))
+        self._buf[self._pos : end] = data
+        self._pos = end
+        return len(data)
+
+    def seek(self, offset: int) -> None:
+        self._check()
+        if offset < 0:
+            raise FilesystemError("negative seek")
+        self._pos = offset
+
+    def tell(self) -> int:
+        return self._pos
+
+    def close(self) -> None:
+        self._closed = True

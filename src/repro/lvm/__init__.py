@@ -1,0 +1,23 @@
+"""Logical volume management substrate.
+
+MobiCeal's initialization path (Sec. V-B) uses the LVM userspace toolset to
+carve the userdata partition into the metadata and data devices that back
+the thin pool. This package reproduces the PV / VG / LV model: physical
+volumes are initialized on block devices, combined into a volume group, and
+logical volumes are allocated from the group's extent pool and exposed as
+block devices (via dm-linear tables, as in the kernel).
+"""
+
+from repro.lvm.lvm import (
+    DEFAULT_EXTENT_BLOCKS,
+    LogicalVolume,
+    PhysicalVolume,
+    VolumeGroup,
+)
+
+__all__ = [
+    "DEFAULT_EXTENT_BLOCKS",
+    "LogicalVolume",
+    "PhysicalVolume",
+    "VolumeGroup",
+]

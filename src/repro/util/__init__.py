@@ -1,0 +1,26 @@
+"""Small shared utilities: unit helpers, deterministic RNG plumbing, stats."""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    SECTOR_SIZE,
+    format_bytes,
+    format_duration,
+    format_throughput,
+)
+from repro.util.stats import Summary, summarize, shannon_entropy, chi_square_uniform
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "SECTOR_SIZE",
+    "format_bytes",
+    "format_duration",
+    "format_throughput",
+    "Summary",
+    "summarize",
+    "shannon_entropy",
+    "chi_square_uniform",
+]

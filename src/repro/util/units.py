@@ -1,0 +1,48 @@
+"""Byte-size and time formatting helpers used throughout the stack."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Traditional disk sector size; dm-crypt style per-sector IVs use this.
+SECTOR_SIZE = 512
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count with a binary-prefix unit.
+
+    >>> format_bytes(4096)
+    '4.0 KiB'
+    >>> format_bytes(400 * MiB)
+    '400.0 MiB'
+    """
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's Table II does.
+
+    >>> format_duration(9.27)
+    '9.27s'
+    >>> format_duration(136)
+    '2min16s'
+    """
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    minutes = int(seconds // 60)
+    rest = seconds - minutes * 60
+    return f"{minutes}min{rest:.0f}s"
+
+
+def format_throughput(bytes_per_second: float) -> str:
+    """Render a throughput in KB/s (the unit used by the paper's Fig. 4)."""
+    return f"{bytes_per_second / 1000:.1f} KB/s"

@@ -1,0 +1,112 @@
+"""Tests for the capacity-arithmetic attack and the cover-traffic advisor."""
+
+import pytest
+
+from repro.android import Phone
+from repro.core import MobiCealConfig, MobiCealSystem
+from repro.core.advisor import (
+    CapacityArithmeticAdversary,
+    CoverTrafficAdvisor,
+    plausible_dummy_bound,
+)
+
+DECOY, HIDDEN = "decoy", "hidden"
+
+
+def booted(seed=61, blocks=16384, **cfg):
+    cfg.setdefault("num_volumes", 4)
+    phone = Phone(seed=seed, userdata_blocks=blocks)
+    system = MobiCealSystem(phone, MobiCealConfig(**cfg))
+    phone.framework.power_on()
+    system.initialize(DECOY, hidden_passwords=(HIDDEN,))
+    system.boot_with_password(DECOY)
+    system.start_framework()
+    return phone, system
+
+
+class TestPlausibleBound:
+    def test_grows_with_public_activity(self):
+        config = MobiCealConfig()
+        assert plausible_dummy_bound(1000, config) > plausible_dummy_bound(
+            100, config
+        )
+
+    def test_scales_with_rate(self):
+        low_rate = MobiCealConfig(dummy_rate=0.5)   # big bursts
+        high_rate = MobiCealConfig(dummy_rate=4.0)  # tiny bursts
+        assert plausible_dummy_bound(1000, low_rate) > plausible_dummy_bound(
+            1000, high_rate
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            plausible_dummy_bound(-1, MobiCealConfig())
+
+    def test_fresh_system_never_suspicious(self):
+        assert plausible_dummy_bound(0, MobiCealConfig()) > 0
+
+
+class TestAdvisorAssessment:
+    def test_normal_use_within_envelope(self):
+        phone, system = booted(seed=62)
+        for i in range(50):
+            system.store_file(f"/p{i}.bin", bytes([i]) * 16384)
+        advisor = CoverTrafficAdvisor(system.config)
+        assessment = advisor.assess(system.volume_usage())
+        assert assessment.within_envelope
+        assert assessment.deficit_blocks == 0
+        assert advisor.recommended_cover_bytes(system.volume_usage()) == 0
+
+    def test_heavy_hidden_use_flagged(self):
+        """A big hidden file and hardly any public data breaks plausibility."""
+        phone, system = booted(seed=63)
+        system.screenlock.enter_password(HIDDEN)
+        system.store_file("/big_secret.bin", b"s" * (400 * 4096))
+        advisor = CoverTrafficAdvisor(system.config)
+        assessment = advisor.assess(system.volume_usage())
+        assert not assessment.within_envelope
+        assert assessment.deficit_blocks > 0
+
+    def test_following_the_advice_restores_plausibility(self):
+        phone, system = booted(seed=64)
+        system.screenlock.enter_password(HIDDEN)
+        system.store_file("/big_secret.bin", b"s" * (400 * 4096))
+        advisor = CoverTrafficAdvisor(system.config)
+        cover = advisor.recommended_cover_bytes(system.volume_usage())
+        assert cover > 0
+        # the user follows the paper's guideline: write public cover
+        system.reboot()
+        system.boot_with_password(DECOY)
+        system.start_framework()
+        system.store_file("/holiday_video.bin", b"v" * cover)
+        assessment = advisor.assess(system.volume_usage())
+        assert assessment.within_envelope
+
+
+class TestCapacityArithmeticAdversary:
+    def test_does_not_false_positive_on_clean_use(self):
+        phone, system = booted(seed=65)
+        for i in range(40):
+            system.store_file(f"/p{i}.bin", bytes([i]) * 16384)
+        adversary = CapacityArithmeticAdversary(system.config)
+        assert not adversary.suspects_hidden_data(system.volume_usage())
+
+    def test_catches_unbalanced_hidden_hoard(self):
+        phone, system = booted(seed=66)
+        system.screenlock.enter_password(HIDDEN)
+        system.store_file("/hoard.bin", b"h" * (400 * 4096))
+        adversary = CapacityArithmeticAdversary(system.config)
+        assert adversary.suspects_hidden_data(system.volume_usage())
+
+    def test_defeated_by_cover_traffic(self):
+        phone, system = booted(seed=67)
+        system.screenlock.enter_password(HIDDEN)
+        system.store_file("/hoard.bin", b"h" * (200 * 4096))
+        advisor = CoverTrafficAdvisor(system.config)
+        cover = advisor.recommended_cover_bytes(system.volume_usage())
+        system.reboot()
+        system.boot_with_password(DECOY)
+        system.start_framework()
+        system.store_file("/cover.bin", b"c" * cover)
+        adversary = CapacityArithmeticAdversary(system.config)
+        assert not adversary.suspects_hidden_data(system.volume_usage())

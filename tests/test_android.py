@@ -1,0 +1,278 @@
+"""Tests for the Android substrate: footer, framework, Vold, screen lock."""
+
+import pytest
+
+from repro.android import (
+    BREADCRUMB_FILES,
+    NEXUS4,
+    NEXUS6P,
+    AndroidVold,
+    CryptoFooter,
+    Phone,
+    PhoneState,
+    ScreenLock,
+    UnlockResult,
+    data_area_blocks,
+    get_profile,
+)
+from repro.blockdev import RAMBlockDevice
+from repro.crypto import Rng
+from repro.errors import (
+    BadPasswordError,
+    FooterError,
+    FrameworkStateError,
+    VoldError,
+)
+from repro.fs import TmpFilesystem
+from repro.util.stats import shannon_entropy
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("nexus4") is NEXUS4
+        assert get_profile("nexus6p") is NEXUS6P
+        with pytest.raises(KeyError):
+            get_profile("pixel9000")
+
+    def test_reboot_composition(self):
+        assert NEXUS4.reboot_s == pytest.approx(
+            NEXUS4.shutdown_s + NEXUS4.kernel_boot_s + NEXUS4.framework_cold_start_s
+        )
+
+    def test_nexus6p_faster_storage(self):
+        assert (
+            NEXUS6P.emmc.sequential_write_bandwidth
+            > NEXUS4.emmc.sequential_write_bandwidth
+        )
+
+
+class TestCryptoFooter:
+    def test_create_store_load(self):
+        dev = RAMBlockDevice(64)
+        footer, key = CryptoFooter.create("pw", Rng(0))
+        footer.store(dev)
+        loaded = CryptoFooter.load(dev)
+        assert loaded.salt == footer.salt
+        assert loaded.unlock("pw") == key
+
+    def test_wrong_password_wrong_key(self):
+        footer, key = CryptoFooter.create("pw", Rng(0))
+        assert footer.unlock("other") != key
+        # deterministic wrongness (that is what hidden keys rely on)
+        assert footer.unlock("other") == footer.unlock("other")
+
+    def test_missing_footer(self):
+        with pytest.raises(FooterError):
+            CryptoFooter.load(RAMBlockDevice(64))
+
+    def test_footer_occupies_last_16k(self):
+        dev = RAMBlockDevice(64)
+        footer, _ = CryptoFooter.create("pw", Rng(0))
+        footer.store(dev)
+        assert dev.read_block(60) != b"\x00" * 4096
+        assert data_area_blocks(dev) == 60
+
+    def test_encrypted_key_looks_random(self):
+        footer, _ = CryptoFooter.create("pw", Rng(0))
+        assert len(footer.encrypted_master_key) == 32
+        assert footer.encrypted_master_key != footer.unlock("pw")
+
+    def test_distinct_phones_distinct_salts(self):
+        a, _ = CryptoFooter.create("pw", Rng(1))
+        b, _ = CryptoFooter.create("pw", Rng(2))
+        assert a.salt != b.salt
+
+
+class TestFrameworkLifecycle:
+    def test_boot_sequence(self):
+        phone = Phone(seed=0)
+        fw = phone.framework
+        assert fw.state is PhoneState.POWER_OFF
+        fw.power_on()
+        assert fw.state is PhoneState.PREBOOT
+        fw.start_framework()
+        assert fw.state is PhoneState.FRAMEWORK_RUNNING
+        fw.stop_framework()
+        assert fw.state is PhoneState.FRAMEWORK_STOPPED
+        fw.start_framework(warm=True)
+        assert fw.state is PhoneState.FRAMEWORK_RUNNING
+
+    def test_invalid_transitions(self):
+        phone = Phone(seed=0)
+        fw = phone.framework
+        with pytest.raises(FrameworkStateError):
+            fw.start_framework()
+        fw.power_on()
+        with pytest.raises(FrameworkStateError):
+            fw.power_on()
+        with pytest.raises(FrameworkStateError):
+            fw.stop_framework()
+
+    def test_timing_costs(self):
+        phone = Phone(seed=0)
+        fw = phone.framework
+        fw.power_on()
+        assert phone.clock.now == pytest.approx(NEXUS4.kernel_boot_s)
+        t = phone.clock.now
+        fw.start_framework(warm=False)
+        assert phone.clock.now - t == pytest.approx(NEXUS4.framework_cold_start_s)
+
+    def test_warm_restart_faster_than_cold(self):
+        assert NEXUS4.framework_restart_s < NEXUS4.framework_cold_start_s
+
+    def test_reboot_clears_ram(self):
+        phone = Phone(seed=0)
+        fw = phone.framework
+        fw.power_on()
+        fw.start_framework()
+        fw.note_secret_in_ram("/secret/x")
+        fw.reboot()
+        assert not fw.ram_residue
+
+    def test_framework_restart_keeps_ram(self):
+        phone = Phone(seed=0)
+        fw = phone.framework
+        fw.power_on()
+        fw.start_framework()
+        fw.note_secret_in_ram("/secret/x")
+        fw.stop_framework()
+        fw.start_framework(warm=True)
+        assert "/secret/x" in fw.ram_residue
+
+    def test_breadcrumbs_written_to_mounts(self):
+        phone = Phone(seed=0)
+        fw = phone.framework
+        fw.power_on()
+        for mountpoint in BREADCRUMB_FILES:
+            fs = TmpFilesystem()
+            fs.format()
+            fs.mount()
+            fw.mounts.mount(mountpoint, fs)
+        fw.start_framework()
+        fw.record_file_activity("/photos/cat.jpg")
+        for mountpoint, logfile in BREADCRUMB_FILES.items():
+            fs = fw.mounts.get(mountpoint)
+            assert b"/photos/cat.jpg" in fs.read_file(logfile)
+        assert "/photos/cat.jpg" in fw.ram_residue
+
+    def test_mount_table(self):
+        phone = Phone(seed=0)
+        mounts = phone.framework.mounts
+        fs = TmpFilesystem()
+        fs.format()
+        mounts.mount("/data", fs)
+        assert mounts.mounted("/data")
+        with pytest.raises(FrameworkStateError):
+            mounts.mount("/data", TmpFilesystem())
+        assert mounts.unmount("/data") is fs
+        with pytest.raises(FrameworkStateError):
+            mounts.unmount("/data")
+
+
+class TestAndroidVoldFDE:
+    def make_phone(self):
+        phone = Phone(seed=42, userdata_blocks=2048)
+        vold = AndroidVold(phone)
+        phone.framework.power_on()
+        vold.enable_crypto("pw123")
+        phone.framework.reboot()
+        return phone, vold
+
+    def test_boot_with_correct_password(self):
+        phone, vold = self.make_phone()
+        fs = vold.mount_userdata("pw123")
+        assert fs.listdir("/") == []
+        assert phone.framework.mounts.mounted("/data")
+
+    def test_boot_time_matches_table2(self):
+        phone, vold = self.make_phone()
+        t0 = phone.clock.now
+        vold.mount_userdata("pw123")
+        assert phone.clock.now - t0 == pytest.approx(0.29, abs=0.05)
+
+    def test_wrong_password_rejected(self):
+        phone, vold = self.make_phone()
+        with pytest.raises(BadPasswordError):
+            vold.mount_userdata("wrong")
+
+    def test_double_mount_rejected(self):
+        phone, vold = self.make_phone()
+        vold.mount_userdata("pw123")
+        with pytest.raises(VoldError):
+            vold.mount_userdata("pw123")
+
+    def test_unmount(self):
+        phone, vold = self.make_phone()
+        vold.mount_userdata("pw123")
+        vold.unmount_userdata()
+        assert vold.userdata_fs is None
+        with pytest.raises(VoldError):
+            vold.unmount_userdata()
+
+    def test_medium_is_ciphertext(self):
+        phone, vold = self.make_phone()
+        fs = vold.mount_userdata("pw123")
+        fs.write_file("/plain.txt", b"TOP-SECRET-MARKER" * 100)
+        fs.flush()
+        from repro.blockdev import capture
+        from repro.adversary import grep_snapshot
+
+        snap = capture(phone.userdata)
+        assert grep_snapshot(snap, b"TOP-SECRET-MARKER") == []
+
+    def test_data_persists_across_reboot(self):
+        phone, vold = self.make_phone()
+        fs = vold.mount_userdata("pw123")
+        fs.write_file("/keep.txt", b"kept")
+        vold.unmount_userdata()
+        phone.framework.reboot()
+        vold2 = AndroidVold(phone)
+        assert vold2.mount_userdata("pw123").read_file("/keep.txt") == b"kept"
+
+
+class TestScreenLock:
+    def make_lock(self, checker=None):
+        phone = Phone(seed=0)
+        phone.framework.power_on()
+        phone.framework.start_framework()
+        return phone, ScreenLock(
+            framework=phone.framework, lock_password="1234", pde_checker=checker
+        )
+
+    def test_normal_unlock(self):
+        _, lock = self.make_lock()
+        assert lock.enter_password("1234") is UnlockResult.UNLOCKED
+
+    def test_wrong_password(self):
+        _, lock = self.make_lock()
+        assert lock.enter_password("0000") is UnlockResult.REJECTED
+
+    def test_pde_checker_invoked_for_non_lock_password(self):
+        seen = []
+
+        def checker(pwd):
+            seen.append(pwd)
+            return pwd == "hidden"
+
+        _, lock = self.make_lock(checker)
+        assert lock.enter_password("hidden") is UnlockResult.SWITCHED_HIDDEN
+        assert lock.enter_password("nope") is UnlockResult.REJECTED
+        assert seen == ["hidden", "nope"]
+
+    def test_checker_not_invoked_for_lock_password(self):
+        seen = []
+        _, lock = self.make_lock(lambda p: seen.append(p) or False)
+        lock.enter_password("1234")
+        assert seen == []
+
+    def test_requires_running_framework(self):
+        phone = Phone(seed=0)
+        lock = ScreenLock(framework=phone.framework, lock_password="1234")
+        with pytest.raises(FrameworkStateError):
+            lock.enter_password("1234")
+
+    def test_verification_costs_time(self):
+        phone, lock = self.make_lock()
+        t0 = phone.clock.now
+        lock.enter_password("1234")
+        assert phone.clock.now > t0

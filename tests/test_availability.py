@@ -1,0 +1,77 @@
+"""Availability test on the Nexus 6P profile (paper Sec. V).
+
+The paper ports MobiCeal to a Huawei Nexus 6P (Android 7.1.2, kernel 3.10)
+as an availability check. We run the full lifecycle — initialization, both
+boot paths, fast switching, GC, side-channel audit — on the Nexus 6P
+profile, and check the timing relations the faster hardware implies.
+"""
+
+import pytest
+
+from repro.adversary import side_channel_attack
+from repro.android import NEXUS4, NEXUS6P, Phone, UnlockResult
+from repro.blockdev.clock import Stopwatch
+from repro.core import MobiCealConfig, MobiCealSystem, Mode
+
+DECOY, HIDDEN = "decoy", "hidden"
+
+
+def build(profile, seed=0):
+    phone = Phone(profile=profile, seed=seed, userdata_blocks=8192)
+    system = MobiCealSystem(phone, MobiCealConfig(num_volumes=6))
+    phone.framework.power_on()
+    system.initialize(DECOY, hidden_passwords=(HIDDEN,))
+    return phone, system
+
+
+class TestNexus6PAvailability:
+    def test_full_lifecycle(self):
+        phone, system = build(NEXUS6P)
+        system.boot_with_password(DECOY)
+        system.start_framework()
+        system.store_file("/pub.bin", b"p" * 8192)
+        assert system.screenlock.enter_password(HIDDEN) is UnlockResult.SWITCHED_HIDDEN
+        system.store_file("/hid.bin", b"h" * 8192)
+        system.run_gc()
+        system.reboot()
+        system.boot_with_password(DECOY)
+        system.start_framework()
+        assert system.read_file("/pub.bin") == b"p" * 8192
+        assert not system.userdata_fs.exists("/hid.bin")
+        report = side_channel_attack(phone, ["/hid.bin"])
+        assert not report.on_disk_leak
+
+    def test_faster_hardware_faster_switching(self):
+        times = {}
+        for profile in (NEXUS4, NEXUS6P):
+            phone, system = build(profile, seed=1)
+            system.boot_with_password(DECOY)
+            system.start_framework()
+            with Stopwatch(phone.clock) as sw:
+                system.screenlock.enter_password(HIDDEN)
+            times[profile.name] = sw.elapsed
+        assert times["nexus6p"] < times["nexus4"]
+        # fast switching stays under 10 s on both devices
+        assert all(t < 10.0 for t in times.values())
+
+    def test_faster_hardware_faster_boot(self):
+        times = {}
+        for profile in (NEXUS4, NEXUS6P):
+            phone, system = build(profile, seed=2)
+            with Stopwatch(phone.clock) as sw:
+                system.boot_with_password(DECOY)
+            times[profile.name] = sw.elapsed
+        assert times["nexus6p"] < times["nexus4"]
+
+    def test_throughput_scales_with_profile(self):
+        from repro.bench.workloads import sequential_write
+
+        rates = {}
+        for profile in (NEXUS4, NEXUS6P):
+            phone, system = build(profile, seed=3)
+            system.boot_with_password(DECOY)
+            sample = sequential_write(
+                system.userdata_fs, phone.clock, "/t.bin", 2 * 1024 * 1024
+            )
+            rates[profile.name] = sample.mb_per_second
+        assert rates["nexus6p"] > 1.5 * rates["nexus4"]

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig4", "table1", "table2", "game", "sidechannel", "all"):
+            args = parser.parse_args(
+                [command] if command not in ("fig4", "table2") else [command]
+            )
+            assert args.command == command
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["--seed", "7", "table1"])
+        assert args.seed == 7
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--file-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "MobiCeal" in out
+
+    def test_sidechannel_runs(self, capsys):
+        assert main(["sidechannel"]) == 0
+        out = capsys.readouterr().out
+        assert "no leakage found" in out
+        assert "RAM" in out
+
+    def test_fig4_runs_small(self, capsys):
+        assert main(["fig4", "--trials", "1", "--file-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        for setting in ("android", "a-t-p", "mc-p"):
+            assert setting in out
+
+    def test_game_runs_small(self, capsys):
+        assert main(["game", "--games", "2", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "advantage" in out
+        assert "MobiPluto" in out

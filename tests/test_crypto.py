@@ -1,0 +1,243 @@
+"""Tests for the crypto substrate: AES, sector ciphers, KDF, RNG models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockdev.clock import SimClock
+from repro.crypto import (
+    AES,
+    AesCbcEssiv,
+    AesCtrEssiv,
+    Blake2Ctr,
+    FlashNoiseTRNG,
+    JiffiesSource,
+    Rng,
+    constant_time_equal,
+    derive_dummy_volume_index,
+    derive_hidden_volume_index,
+    pbkdf2,
+    pbkdf2_reference,
+)
+from repro.errors import InvalidKeyError
+from repro.util.stats import shannon_entropy
+
+
+class TestAESKnownAnswers:
+    """FIPS-197 Appendix C known-answer tests."""
+
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128(self):
+        key = bytes(range(16))
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes192(self):
+        key = bytes(range(24))
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes256(self):
+        key = bytes(range(32))
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_decrypt_inverts(self):
+        for klen in (16, 24, 32):
+            cipher = AES(bytes(range(klen)))
+            assert cipher.decrypt_block(
+                cipher.encrypt_block(self.PLAINTEXT)
+            ) == self.PLAINTEXT
+
+    def test_bad_key_length(self):
+        with pytest.raises(InvalidKeyError):
+            AES(b"short")
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).encrypt_block(b"tiny")
+        with pytest.raises(ValueError):
+            AES(bytes(16)).decrypt_block(b"tiny")
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestSectorCiphers:
+    @pytest.mark.parametrize("cls", [Blake2Ctr, AesCtrEssiv, AesCbcEssiv])
+    def test_roundtrip(self, cls):
+        cipher = cls(b"k" * 32)
+        plaintext = bytes(range(256)) * 16  # 4096 bytes
+        ct = cipher.encrypt_sector(42, plaintext)
+        assert ct != plaintext
+        assert cipher.decrypt_sector(42, ct) == plaintext
+
+    @pytest.mark.parametrize("cls", [Blake2Ctr, AesCtrEssiv, AesCbcEssiv])
+    def test_sector_number_matters(self, cls):
+        cipher = cls(b"k" * 32)
+        pt = b"\x00" * 512
+        assert cipher.encrypt_sector(1, pt) != cipher.encrypt_sector(2, pt)
+
+    @pytest.mark.parametrize("cls", [Blake2Ctr, AesCtrEssiv, AesCbcEssiv])
+    def test_key_matters(self, cls):
+        pt = b"\x00" * 512
+        a = cls(b"a" * 32).encrypt_sector(0, pt)
+        b = cls(b"b" * 32).encrypt_sector(0, pt)
+        assert a != b
+
+    @pytest.mark.parametrize("cls", [Blake2Ctr, AesCtrEssiv, AesCbcEssiv])
+    def test_ciphertext_looks_random(self, cls):
+        cipher = cls(b"k" * 32)
+        ct = cipher.encrypt_sector(0, b"\x00" * 4096)
+        assert shannon_entropy(ct) > 7.2
+
+    def test_cbc_requires_block_multiple(self):
+        with pytest.raises(ValueError):
+            AesCbcEssiv(b"k" * 16).encrypt_sector(0, b"x" * 100)
+
+    def test_blake2_key_length_validation(self):
+        with pytest.raises(InvalidKeyError):
+            Blake2Ctr(b"tiny")
+        with pytest.raises(InvalidKeyError):
+            Blake2Ctr(b"x" * 100)
+
+    @given(st.binary(min_size=16, max_size=64), st.integers(0, 2**40),
+           st.binary(min_size=0, max_size=1024))
+    @settings(max_examples=30, deadline=None)
+    def test_blake2ctr_roundtrip_property(self, key, sector, data):
+        cipher = Blake2Ctr(key)
+        assert cipher.decrypt_sector(sector, cipher.encrypt_sector(sector, data)) == data
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")
+
+
+class TestKDF:
+    def test_matches_reference_implementation(self):
+        for iters in (1, 2, 100):
+            for dklen in (16, 20, 32, 48):
+                assert pbkdf2(b"pw", b"salt", iters, dklen) == pbkdf2_reference(
+                    b"pw", b"salt", iters, dklen
+                )
+
+    def test_salt_changes_output(self):
+        assert pbkdf2(b"pw", b"salt1", 10, 32) != pbkdf2(b"pw", b"salt2", 10, 32)
+
+    def test_password_changes_output(self):
+        assert pbkdf2(b"pw1", b"salt", 10, 32) != pbkdf2(b"pw2", b"salt", 10, 32)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pbkdf2(b"pw", b"salt", 0, 32)
+        with pytest.raises(ValueError):
+            pbkdf2(b"pw", b"salt", 10, 0)
+
+    def test_hidden_volume_index_range(self):
+        for n in (2, 3, 8, 100):
+            k = derive_hidden_volume_index(b"pw", b"salt" * 4, n)
+            assert 2 <= k <= n
+
+    def test_hidden_volume_index_deterministic(self):
+        a = derive_hidden_volume_index(b"pw", b"salt" * 4, 8)
+        b = derive_hidden_volume_index(b"pw", b"salt" * 4, 8)
+        assert a == b
+
+    def test_hidden_volume_index_salt_sensitivity(self):
+        ks = {
+            derive_hidden_volume_index(b"pw", bytes([s]) * 16, 50)
+            for s in range(30)
+        }
+        assert len(ks) > 5  # different salts spread over volumes
+
+    def test_hidden_index_requires_two_volumes(self):
+        with pytest.raises(ValueError):
+            derive_hidden_volume_index(b"pw", b"salt", 1)
+
+    def test_dummy_volume_index(self):
+        assert derive_dummy_volume_index(0, 8) == 2
+        assert derive_dummy_volume_index(6, 8) == 8
+        assert derive_dummy_volume_index(7, 8) == 2
+        with pytest.raises(ValueError):
+            derive_dummy_volume_index(3, 1)
+
+    @given(st.integers(0, 2**63), st.integers(2, 64))
+    def test_dummy_index_in_range(self, stored_rand, n):
+        assert 2 <= derive_dummy_volume_index(stored_rand, n) <= n
+
+
+class TestRng:
+    def test_deterministic_given_seed(self):
+        assert Rng(42).random_bytes(16) == Rng(42).random_bytes(16)
+
+    def test_different_seeds_differ(self):
+        assert Rng(1).random_bytes(16) != Rng(2).random_bytes(16)
+
+    def test_fork_independent(self):
+        base = Rng(7)
+        a = base.fork("a").random_bytes(16)
+        b = base.fork("b").random_bytes(16)
+        assert a != b
+        # fork is stable
+        assert Rng(7).fork("a").random_bytes(16) == a
+
+    def test_randint_inclusive_bounds(self):
+        rng = Rng(0)
+        values = {rng.randint(1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_exponential_mean(self):
+        rng = Rng(0)
+        samples = [rng.exponential(2.0) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.5, rel=0.1)
+
+    def test_exponential_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Rng(0).exponential(0)
+
+    def test_sample_and_shuffle(self):
+        rng = Rng(3)
+        picked = rng.sample(range(100), 5)
+        assert len(set(picked)) == 5
+        seq = list(range(10))
+        rng.shuffle(seq)
+        assert sorted(seq) == list(range(10))
+
+
+class TestJiffies:
+    def test_jiffies_follow_clock(self):
+        clock = SimClock()
+        source = JiffiesSource(clock, Rng(0))
+        assert source.jiffies == 0
+        clock.advance(2.5)
+        assert source.jiffies == 250
+
+    def test_sample_nonnegative_and_varied(self):
+        clock = SimClock()
+        source = JiffiesSource(clock, Rng(0))
+        values = {source.sample() for _ in range(10)}
+        assert len(values) == 10
+        assert all(v >= 0 for v in values)
+
+
+class TestFlashTRNG:
+    def test_extract_lengths(self):
+        trng = FlashNoiseTRNG(Rng(0))
+        assert len(trng.extract(10)) == 10
+        assert len(trng.extract(100)) == 100
+
+    def test_extract_int_bits(self):
+        trng = FlashNoiseTRNG(Rng(0))
+        for _ in range(50):
+            assert 0 <= trng.extract_int(8) < 256
+
+    def test_output_high_entropy(self):
+        trng = FlashNoiseTRNG(Rng(0))
+        assert shannon_entropy(trng.extract(4096)) > 7.5
+
+    def test_successive_extracts_differ(self):
+        trng = FlashNoiseTRNG(Rng(0))
+        assert trng.extract(32) != trng.extract(32)
