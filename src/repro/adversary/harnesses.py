@@ -30,9 +30,14 @@ class MobiCealHarness(GameHarness):
         seed: int,
         userdata_blocks: int = 4096,
         config: MobiCealConfig = MobiCealConfig(num_volumes=6),
+        userdata_device=None,
     ) -> None:
         self.metadata_fraction = config.metadata_fraction
-        self._phone = Phone(seed=seed, userdata_blocks=userdata_blocks)
+        self._phone = Phone(
+            seed=seed,
+            userdata_blocks=userdata_blocks,
+            userdata_device=userdata_device,
+        )
         self._system = MobiCealSystem(self._phone, config)
         self._content_rng = Rng(seed).fork("content")
 

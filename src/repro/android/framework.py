@@ -78,6 +78,16 @@ class MountTable:
         for mountpoint in list(self._mounts):
             self.unmount(mountpoint)
 
+    def drop_all(self) -> None:
+        """Forget every mount *without* unmounting — power-fail semantics.
+
+        Nothing is flushed: whatever the filesystems had not written out is
+        lost, exactly like yanking the battery.
+        """
+        for fs in self._mounts.values():
+            fs.drop()
+        self._mounts.clear()
+
 
 class AndroidFramework:
     """The framework lifecycle; one instance per simulated phone."""
@@ -143,6 +153,17 @@ class AndroidFramework:
         """shutdown + cold boot to the password prompt."""
         self.shutdown()
         self.power_on()
+
+    def power_fail(self) -> None:
+        """Sudden power loss: no unmounts, no flushes, no clock charge.
+
+        Valid from any state (a battery yank does not ask the framework's
+        permission). Mounts are dropped dirty and RAM is cleared — what
+        survives on the media is whatever the last flush made durable.
+        """
+        self.mounts.drop_all()
+        self.ram_residue.clear()
+        self.state = PhoneState.POWER_OFF
 
     # -- activity / side-channel model ----------------------------------------------
 

@@ -8,8 +8,16 @@ from repro.blockdev.device import (
     RAMBlockDevice,
     ReadOnlyView,
     SubDevice,
+    in_recovery,
+    recovery_io,
 )
 from repro.blockdev.emmc import EMMCDevice
+from repro.blockdev.faults import (
+    FaultPlan,
+    FaultyBlockDevice,
+    crash_point,
+    inject,
+)
 from repro.blockdev.ftl import (
     FTLDevice,
     FTLStats,
@@ -36,7 +44,13 @@ __all__ = [
     "RAMBlockDevice",
     "ReadOnlyView",
     "SubDevice",
+    "in_recovery",
+    "recovery_io",
     "EMMCDevice",
+    "FaultPlan",
+    "FaultyBlockDevice",
+    "crash_point",
+    "inject",
     "FTLDevice",
     "FTLStats",
     "NandFlash",

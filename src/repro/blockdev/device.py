@@ -8,8 +8,10 @@ real MobiCeal. All I/O is in whole blocks.
 
 from __future__ import annotations
 
+import contextlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import (
     BadBlockSizeError,
@@ -20,6 +22,33 @@ from repro.errors import (
 
 #: Default logical block size for the stack (matches ext4 and dm-thin).
 DEFAULT_BLOCK_SIZE = 4096
+
+# Depth of nested recovery_io() sections. While positive, every device
+# books its I/O under the recovery_* counters instead of the workload
+# counters, so crash-recovery I/O never pollutes bench measurements.
+_RECOVERY_DEPTH = 0
+
+
+@contextlib.contextmanager
+def recovery_io() -> Iterator[None]:
+    """Mark the enclosed I/O as crash-recovery work, not workload.
+
+    Recovery paths (journal replay, metadata rollback, bitmap
+    reconciliation) wrap themselves in this context manager; all devices
+    then count their reads/writes under ``IOStats.recovery_reads`` /
+    ``IOStats.recovery_writes``. Nesting is allowed and cheap.
+    """
+    global _RECOVERY_DEPTH
+    _RECOVERY_DEPTH += 1
+    try:
+        yield
+    finally:
+        _RECOVERY_DEPTH -= 1
+
+
+def in_recovery() -> bool:
+    """True while executing inside a :func:`recovery_io` section."""
+    return _RECOVERY_DEPTH > 0
 
 
 @dataclass
@@ -32,6 +61,10 @@ class IOStats:
     bytes_written: int = 0
     flushes: int = 0
     discards: int = 0
+    # I/O performed inside a recovery_io() section is booked separately so
+    # benches never double-count crash recovery as workload.
+    recovery_reads: int = 0
+    recovery_writes: int = 0
 
     def snapshot(self) -> "IOStats":
         """Return a copy, so callers can diff counters across a workload."""
@@ -42,6 +75,8 @@ class IOStats:
             bytes_written=self.bytes_written,
             flushes=self.flushes,
             discards=self.discards,
+            recovery_reads=self.recovery_reads,
+            recovery_writes=self.recovery_writes,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -53,6 +88,8 @@ class IOStats:
             bytes_written=self.bytes_written - earlier.bytes_written,
             flushes=self.flushes - earlier.flushes,
             discards=self.discards - earlier.discards,
+            recovery_reads=self.recovery_reads - earlier.recovery_reads,
+            recovery_writes=self.recovery_writes - earlier.recovery_writes,
         )
 
 
@@ -93,8 +130,11 @@ class BlockDevice(ABC):
         """Read one block; returns exactly ``block_size`` bytes."""
         self._check_io(block)
         data = self._read(block)
-        self.stats.reads += 1
-        self.stats.bytes_read += self._block_size
+        if _RECOVERY_DEPTH:
+            self.stats.recovery_reads += 1
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += self._block_size
         return data
 
     def write_block(self, block: int, data: bytes) -> None:
@@ -103,8 +143,11 @@ class BlockDevice(ABC):
         if len(data) != self._block_size:
             raise BadBlockSizeError(len(data), self._block_size)
         self._write(block, data)
-        self.stats.writes += 1
-        self.stats.bytes_written += self._block_size
+        if _RECOVERY_DEPTH:
+            self.stats.recovery_writes += 1
+        else:
+            self.stats.writes += 1
+            self.stats.bytes_written += self._block_size
 
     def flush(self) -> None:
         """Flush any volatile state to stable storage."""

@@ -7,6 +7,7 @@ Usage::
     python -m repro table2 [--trials N]
     python -m repro game [--games N]
     python -m repro sidechannel
+    python -m repro crashsim [--scenario NAME] [--stride N]
     python -m repro all
 
 Every command prints the paper-style table for its experiment, computed on
@@ -115,6 +116,46 @@ def _cmd_sidechannel(args: argparse.Namespace) -> None:
     print(render_table(["system", "verdict"], rows))
 
 
+def _cmd_crashsim(args: argparse.Namespace) -> None:
+    from repro.testing.crashsim import (
+        SCENARIOS,
+        count_workload_writes,
+        crash_sweep,
+        stride_indices,
+    )
+
+    if args.stride < 1:
+        raise SystemExit("repro crashsim: error: --stride must be >= 1")
+    if args.limit < 0:
+        raise SystemExit("repro crashsim: error: --limit must be >= 0")
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    rows = []
+    for name in names:
+        factory = SCENARIOS[name]
+        total = count_workload_writes(factory, seed=args.seed)
+        indices = stride_indices(total, args.stride)
+        if args.limit:
+            indices = indices[: args.limit]
+        report = crash_sweep(factory, indices=indices, seed=args.seed)
+        print(report.render())
+        print()
+        rows.append(
+            [
+                name,
+                str(report.total_writes),
+                str(report.attempted),
+                str(len(report.failures)),
+                f"{report.recovery_rate:.1%}",
+            ]
+        )
+    print("Crash-recovery sweep — power cut at each sampled write index")
+    print(
+        render_table(
+            ["scenario", "writes", "swept", "failed", "recovery rate"], rows
+        )
+    )
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     for fn in (_cmd_fig4, _cmd_table1, _cmd_table2, _cmd_game,
                _cmd_sidechannel):
@@ -151,6 +192,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sidechannel", help="the Czeskis side-channel attack")
     p.set_defaults(func=_cmd_sidechannel)
+
+    p = sub.add_parser(
+        "crashsim", help="crash-at-every-write recovery sweep"
+    )
+    p.add_argument(
+        "--scenario",
+        choices=["metadata", "pool", "ext4", "system", "all"],
+        default="all",
+    )
+    p.add_argument(
+        "--stride", type=int, default=1,
+        help="sweep every Nth write index (1 = exhaustive)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=0,
+        help="cap the number of swept indices (0 = no cap)",
+    )
+    p.set_defaults(func=_cmd_crashsim)
 
     p = sub.add_parser("all", help="run every experiment")
     p.add_argument("--trials", type=int, default=2)

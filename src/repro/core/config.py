@@ -34,6 +34,10 @@ class MobiCealConfig:
     #: filesystem deployed on the public and hidden volumes — MobiCeal is
     #: file-system friendly (Sec. I): any block-based filesystem works
     fstype: str = "ext4"
+    #: format volume filesystems with a metadata journal (ext4 only).
+    #: Off by default to keep the paper-calibrated I/O profile; the
+    #: crash-recovery experiments turn it on.
+    fs_journal: bool = False
     #: metadata device size as a fraction of the userdata partition
     metadata_fraction: float = 0.02
     #: Beta(gc_shape, 1) exponent for the GC reclaim fraction; larger means
@@ -63,6 +67,8 @@ class MobiCealConfig:
             raise ConfigError(f"unknown allocation strategy {self.allocation!r}")
         if self.fstype not in ("ext4", "fat32"):
             raise ConfigError(f"unsupported volume filesystem {self.fstype!r}")
+        if self.fs_journal and self.fstype != "ext4":
+            raise ConfigError("fs_journal requires fstype 'ext4'")
         if not 0.001 <= self.metadata_fraction <= 0.25:
             raise ConfigError("metadata_fraction must be in [0.001, 0.25]")
         if self.gc_shape <= 0:

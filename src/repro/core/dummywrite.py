@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.blockdev.clock import SimClock
+from repro.blockdev.faults import crash_point
 from repro.core.config import MobiCealConfig
 from repro.crypto.kdf import derive_dummy_volume_index
 from repro.crypto.rng import FlashNoiseTRNG, JiffiesSource, Rng
@@ -139,6 +140,7 @@ class DummyWritePolicy:
         for _ in range(m):
             if pool.free_data_blocks == 0:
                 return
+            crash_point("pde.dummy.burst-block")
             written = pool.append_noise(
                 target, self.make_noise(pool.block_size), self._rng
             )

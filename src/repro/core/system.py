@@ -28,13 +28,14 @@ from repro.android.footer import CryptoFooter, data_area_blocks
 from repro.android.phone import Phone
 from repro.android.screenlock import ScreenLock
 from repro.blockdev.device import BlockDevice, SubDevice
+from repro.blockdev.faults import crash_point
 from repro.core.config import DEFAULT_CONFIG, MobiCealConfig
 from repro.core.dummywrite import DummyWritePolicy
 from repro.core.gc import GCResult, collect_dummy_space
 from repro.crypto.kdf import derive_hidden_volume_index
 from repro.crypto.stream import Blake2Ctr, constant_time_equal
 from repro.dm.crypt import create_crypt_device
-from repro.dm.thin.pool import ThinPool
+from repro.dm.thin.pool import PoolRecovery, ThinPool
 from repro.errors import (
     BadPasswordError,
     ModeError,
@@ -83,9 +84,31 @@ class MobiCealSystem:
         self._fs: Optional[Filesystem] = None
         self._hidden_k_in_session: Optional[int] = None
         self._screenlock: Optional[ScreenLock] = None
+        self._screenlock_password = "0000"
+        #: recovery report of the last crash-boot (None after a clean boot)
+        self.last_recovery: Optional[PoolRecovery] = None
         meta_blocks, data_blocks = self._layout()
         self._meta_blocks = meta_blocks
         self._data_blocks = data_blocks
+
+    @classmethod
+    def attach(
+        cls,
+        phone: Phone,
+        config: MobiCealConfig = DEFAULT_CONFIG,
+        screenlock_password: str = "0000",
+    ) -> "MobiCealSystem":
+        """Re-create a system object over an already-initialized medium.
+
+        This is what happens on every real power cycle: the on-flash state
+        (footer, pool metadata, volumes) persists while the in-RAM
+        ``MobiCealSystem`` does not. The returned system is OFFLINE; call
+        :meth:`power_on` and :meth:`boot_with_password` to use it.
+        """
+        system = cls(phone, config)
+        system._screenlock_password = screenlock_password
+        system.mode = Mode.OFFLINE
+        return system
 
     # -- layout -----------------------------------------------------------------
 
@@ -244,7 +267,9 @@ class MobiCealSystem:
         self._charge(phone.profile.dmsetup_s, "dmsetup")
         public_dev = self._volume_device(PUBLIC_VOLUME_ID, decoy_key,
                                          skip_verifier=False)
-        make_filesystem(self.config.fstype, public_dev).format()
+        make_filesystem(
+            self.config.fstype, public_dev, journal=self.config.fs_journal
+        ).format()
 
         # Hidden volumes: verifier block + ext4 under each hidden key.
         for pwd, k in zip(hidden_passwords, ks):
@@ -253,7 +278,9 @@ class MobiCealSystem:
             self._write_verifier(k, pwd, hidden_key)
             self._charge(phone.profile.dmsetup_s, "dmsetup")
             hidden_dev = self._volume_device(k, hidden_key, skip_verifier=True)
-            make_filesystem(self.config.fstype, hidden_dev).format()
+            make_filesystem(
+                self.config.fstype, hidden_dev, journal=self.config.fs_journal
+            ).format()
 
         # cache and devlog partitions
         for dev in (phone.cache_dev, phone.devlog_dev):
@@ -267,19 +294,35 @@ class MobiCealSystem:
 
     # -- boot -----------------------------------------------------------------------------
 
-    def _activate_pool(self) -> ThinPool:
+    def _activate_pool(self, after_crash: bool = False) -> ThinPool:
         phone = self.phone
         self._charge(phone.profile.thin_activation_s, "thin-activation")
         self._charge(MOBICEAL_BOOT_EXTRA_S, "pde-kernel-init")
         meta_dev, data_dev = self._lvm_devices()
-        pool = ThinPool.open(
-            meta_dev,
-            data_dev,
-            allocation=self.config.allocation,
-            rng=phone.rng.fork(f"allocator-boot-{phone.framework.boot_count}"),
-            clock=phone.clock,
-            costs=phone.profile.thin_costs,
-        )
+        self.last_recovery = None
+        if after_crash:
+            pool, recovery = ThinPool.recover(
+                meta_dev,
+                data_dev,
+                allocation=self.config.allocation,
+                rng=phone.rng.fork(
+                    f"allocator-boot-{phone.framework.boot_count}"
+                ),
+                clock=phone.clock,
+                costs=phone.profile.thin_costs,
+            )
+            self.last_recovery = recovery
+        else:
+            pool = ThinPool.open(
+                meta_dev,
+                data_dev,
+                allocation=self.config.allocation,
+                rng=phone.rng.fork(
+                    f"allocator-boot-{phone.framework.boot_count}"
+                ),
+                clock=phone.clock,
+                costs=phone.profile.thin_costs,
+            )
         policy = DummyWritePolicy(
             self.config,
             phone.rng.fork(f"dummy-{phone.framework.boot_count}"),
@@ -293,7 +336,9 @@ class MobiCealSystem:
         self._policy = policy
         return pool
 
-    def boot_with_password(self, password: str) -> Filesystem:
+    def boot_with_password(
+        self, password: str, after_crash: bool = False
+    ) -> Filesystem:
         """Pre-boot authentication: mount /data for *password*.
 
         Tries the public volume first (the common case); if the password
@@ -302,13 +347,19 @@ class MobiCealSystem:
         :class:`BadPasswordError` otherwise. The framework is *not* started
         here — call :meth:`start_framework` (this split is what Table II's
         "booting time" measures).
+
+        With ``after_crash=True`` the pool is opened through
+        :meth:`ThinPool.recover` (roll back to the newest intact metadata
+        generation, reconcile the bitmap) and the report lands in
+        :attr:`last_recovery`. Filesystem-level recovery (ext4 journal
+        replay) happens on mount either way.
         """
         phone = self.phone
         if self.mode in (Mode.PUBLIC, Mode.HIDDEN):
             raise ModeError("already booted; reboot first")
         if self.mode is Mode.UNINITIALIZED:
             raise NotInitializedError("initialize() the system first")
-        pool = self._activate_pool()
+        pool = self._activate_pool(after_crash=after_crash)
         self._charge(phone.profile.pbkdf2_s, "pbkdf2")
         footer = CryptoFooter.load(phone.userdata)
         key = footer.unlock(password)
@@ -435,6 +486,7 @@ class MobiCealSystem:
         phone.framework.stop_framework()
         phone.framework.mounts.unmount("/data")
         self._fs = None
+        crash_point("system.switch.data-unmounted")
         # Isolate the leak paths before the hidden volume appears.
         self._mount_log_partitions(tmpfs=self.config.isolate_side_channels)
         phone.framework.note_secret_in_ram(password)
@@ -443,6 +495,7 @@ class MobiCealSystem:
         fs = make_filesystem(self.config.fstype, hidden_dev)
         self._charge(phone.profile.mount_s, "mount")
         fs.mount()
+        crash_point("system.switch.hidden-mounted")
         self._fs = fs
         phone.framework.mounts.mount("/data", fs)
         phone.framework.start_framework(warm=True)
@@ -499,6 +552,24 @@ class MobiCealSystem:
         self._hidden_k_in_session = None
         self._screenlock = None
         self.phone.framework.reboot()
+        self.mode = Mode.OFFLINE
+
+    def crash(self) -> None:
+        """Sudden power loss — the in-RAM half of the system vanishes.
+
+        Unlike :meth:`shutdown` nothing is committed, flushed or unmounted:
+        mounts are dropped dirty and the pool object is discarded with its
+        uncommitted allocations. What survives on the medium is whatever
+        the last flush/commit made durable. Boot again with
+        ``boot_with_password(..., after_crash=True)``.
+        """
+        if self.mode is Mode.UNINITIALIZED:
+            raise NotInitializedError("initialize() the system first")
+        self.phone.framework.power_fail()
+        self._fs = None
+        self._teardown_pool()
+        self._hidden_k_in_session = None
+        self._screenlock = None
         self.mode = Mode.OFFLINE
 
     def shutdown(self) -> None:

@@ -7,8 +7,13 @@ from repro.dm.thin.allocation import (
     make_allocator,
 )
 from repro.dm.thin.bitmap import Bitmap
-from repro.dm.thin.metadata import MetadataStore, PoolMetadata, VolumeRecord
-from repro.dm.thin.pool import PoolStats, ThinCosts, ThinPool
+from repro.dm.thin.metadata import (
+    MetadataRecovery,
+    MetadataStore,
+    PoolMetadata,
+    VolumeRecord,
+)
+from repro.dm.thin.pool import PoolRecovery, PoolStats, ThinCosts, ThinPool
 from repro.dm.thin.thin import ThinDevice, ThinTarget
 
 __all__ = [
@@ -17,9 +22,11 @@ __all__ = [
     "SequentialAllocator",
     "make_allocator",
     "Bitmap",
+    "MetadataRecovery",
     "MetadataStore",
     "PoolMetadata",
     "VolumeRecord",
+    "PoolRecovery",
     "PoolStats",
     "ThinCosts",
     "ThinPool",

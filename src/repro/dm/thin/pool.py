@@ -21,10 +21,16 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Set
 
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, recovery_io
+from repro.blockdev.faults import crash_point
 from repro.crypto.rng import Rng
 from repro.dm.thin.allocation import make_allocator
-from repro.dm.thin.metadata import MetadataStore, PoolMetadata, VolumeRecord
+from repro.dm.thin.metadata import (
+    MetadataRecovery,
+    MetadataStore,
+    PoolMetadata,
+    VolumeRecord,
+)
 from repro.errors import (
     MetadataError,
     NoSuchVolumeError,
@@ -58,6 +64,38 @@ class PoolStats:
     dummy_blocks: int = 0
     discards: int = 0
     commits: int = 0
+
+
+@dataclass(frozen=True)
+class PoolRecovery:
+    """Outcome report of :meth:`ThinPool.recover`.
+
+    Deliberately *uniform* across volumes: recovery never records (and
+    never needs to know) whether a reconciled block belonged to a public,
+    hidden, or dummy volume, so the report itself leaks nothing.
+    """
+
+    metadata: MetadataRecovery
+    orphan_blocks_freed: int      # bitmap bits with no surviving mapping
+    double_mappings_dropped: int  # duplicate claims on one physical block
+    recommitted: bool             # reconciliation forced a fresh commit
+
+    @property
+    def clean(self) -> bool:
+        """True when the committed generation needed no reconciliation."""
+        return (
+            self.orphan_blocks_freed == 0
+            and self.double_mappings_dropped == 0
+            and not self.metadata.superblock_repaired
+        )
+
+    def summary(self) -> str:
+        return (
+            f"gen={self.metadata.generation} tx={self.metadata.transaction_id} "
+            f"superblock_repaired={self.metadata.superblock_repaired} "
+            f"orphans_freed={self.orphan_blocks_freed} "
+            f"double_mappings_dropped={self.double_mappings_dropped}"
+        )
 
 
 # A dummy-write hook receives the pool and the volume id the real write hit.
@@ -94,6 +132,9 @@ class ThinPool:
         self._costs = costs
         self.stats = PoolStats()
         self.uncommitted_allocations: Set[int] = set()
+        # Discard passdown is deferred to commit: zeroing the data block
+        # before the unmap is durable would corrupt a rolled-back mapping.
+        self._pending_discards: List[int] = []
         self._dummy_hook: Optional[DummyWriteHook] = None
         self._in_dummy_write = False
         self._allocator = make_allocator(
@@ -141,6 +182,64 @@ class ThinPool:
             store, data_device, metadata,
             allocation=allocation, rng=rng, clock=clock, costs=costs,
         )
+
+    @classmethod
+    def recover(
+        cls,
+        metadata_device: BlockDevice,
+        data_device: BlockDevice,
+        allocation: str = "random",
+        rng: Optional[Rng] = None,
+        clock: Optional[SimClock] = None,
+        costs: ThinCosts = ThinCosts(),
+    ) -> "tuple[ThinPool, PoolRecovery]":
+        """Open a pool after a crash: roll back and reconcile.
+
+        Rolls back to the newest intact metadata generation (see
+        :meth:`MetadataStore.recover`), then reconciles the global bitmap
+        against the surviving mappings: a physical block claimed by more
+        than one volume keeps only its first claimant (volumes and virtual
+        blocks visited in sorted order, so the outcome is deterministic),
+        and bitmap bits with no surviving mapping are freed. The sweep is
+        strictly uniform over volume ids — it never distinguishes hidden
+        from dummy allocations, so recovery cannot become a distinguisher.
+        """
+        store = MetadataStore(metadata_device)
+        metadata, meta_report = store.recover()
+        owners: dict = {}
+        dropped = 0
+        for vol_id in sorted(metadata.volumes):
+            record = metadata.volumes[vol_id]
+            for vblock in sorted(record.mappings):
+                pblock = record.mappings[vblock]
+                if pblock in owners:
+                    del record.mappings[vblock]
+                    dropped += 1
+                else:
+                    owners[pblock] = (vol_id, vblock)
+        # from_payload guarantees mapped ⊆ bitmap, so orphans (if any) are
+        # exactly the surplus; scan only when the counts disagree.
+        orphans = 0
+        if metadata.bitmap.allocated_count != len(owners):
+            for pblock in range(metadata.num_data_blocks):
+                if metadata.bitmap.test(pblock) and pblock not in owners:
+                    metadata.bitmap.clear(pblock)
+                    orphans += 1
+        recommitted = bool(dropped or orphans)
+        if recommitted:
+            with recovery_io():
+                store.commit(metadata)
+        pool = cls(
+            store, data_device, metadata,
+            allocation=allocation, rng=rng, clock=clock, costs=costs,
+        )
+        report = PoolRecovery(
+            metadata=meta_report,
+            orphan_blocks_freed=orphans,
+            double_mappings_dropped=dropped,
+            recommitted=recommitted,
+        )
+        return pool, report
 
     # -- introspection ------------------------------------------------------------
 
@@ -296,16 +395,24 @@ class ThinPool:
         self._meta.bitmap.clear(pblock)
         self._allocator.free(pblock)
         self.uncommitted_allocations.discard(pblock)
-        self._data.discard(pblock)
+        self._pending_discards.append(pblock)
         self.stats.discards += 1
 
     # -- persistence ----------------------------------------------------------------------
 
     def commit(self) -> None:
         """Persist metadata (shadow-paged) and close the transaction."""
+        crash_point("thin.pool.commit")
         self._store.commit(self._meta)
         self.uncommitted_allocations.clear()
         self.stats.commits += 1
+        # The unmaps are durable now; pass the discards down, skipping any
+        # block that was re-provisioned within the same transaction.
+        pending, self._pending_discards = self._pending_discards, []
+        for pblock in pending:
+            if not self._meta.bitmap.test(pblock):
+                self._data.discard(pblock)
+        crash_point("thin.pool.commit.done")
 
     def flush(self) -> None:
         """Flush data and commit metadata."""

@@ -51,6 +51,23 @@ class DeviceClosedError(BlockDeviceError):
     """I/O was attempted on a device that has been closed/torn down."""
 
 
+class FaultInjectionError(BlockDeviceError):
+    """Base class for errors raised by the fault-injection layer."""
+
+
+class PowerCutError(FaultInjectionError):
+    """The simulated device lost power (mid-write or at a crash point).
+
+    Everything durably written before the cut survives; the interrupted
+    write may land torn and unflushed cached writes may be dropped,
+    depending on the :class:`~repro.blockdev.faults.FaultPlan`.
+    """
+
+
+class TransientIOError(FaultInjectionError):
+    """A one-off I/O failure; the same operation may succeed on retry."""
+
+
 # ---------------------------------------------------------------------------
 # Crypto layer
 # ---------------------------------------------------------------------------

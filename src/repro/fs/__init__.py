@@ -28,10 +28,16 @@ __all__ = [
 ]
 
 
-def make_filesystem(fstype: str, device) -> Filesystem:
-    """Factory keyed by name: ``"ext4"`` or ``"fat32"``."""
+def make_filesystem(fstype: str, device, journal: bool = False) -> Filesystem:
+    """Factory keyed by name: ``"ext4"`` or ``"fat32"``.
+
+    *journal* enables ext4's metadata journal (crash consistency); FAT32
+    has no journal, so the flag raises there rather than silently lying.
+    """
     if fstype == "ext4":
-        return Ext4Filesystem(device)
+        return Ext4Filesystem(device, journal=journal)
     if fstype == "fat32":
+        if journal:
+            raise ValueError("fat32 does not support journaling")
         return Fat32Filesystem(device)
     raise ValueError(f"unknown filesystem type: {fstype!r}")

@@ -129,6 +129,14 @@ class Filesystem(ABC):
     def flush(self) -> None:
         """Flush dirty state to the device (fsync); default is a no-op."""
 
+    def drop(self) -> None:
+        """Detach *without* flushing — power-fail semantics.
+
+        Dirty in-memory state is discarded; the on-disk image stays however
+        the last flush left it. A no-op when already unmounted.
+        """
+        self._mounted = False  # type: ignore[attr-defined]
+
     # -- namespace ----------------------------------------------------------
 
     @abstractmethod

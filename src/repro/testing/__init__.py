@@ -1,0 +1,29 @@
+"""Reusable test harnesses (crash sweeps, invariant checks)."""
+
+from repro.testing.crashsim import (
+    CrashOutcome,
+    CrashScenario,
+    Ext4FlushScenario,
+    MetadataCommitScenario,
+    SweepReport,
+    SystemCrashScenario,
+    ThinPoolScenario,
+    count_workload_writes,
+    crash_sweep,
+    pool_invariants,
+    stride_indices,
+)
+
+__all__ = [
+    "CrashOutcome",
+    "CrashScenario",
+    "Ext4FlushScenario",
+    "MetadataCommitScenario",
+    "SweepReport",
+    "SystemCrashScenario",
+    "ThinPoolScenario",
+    "count_workload_writes",
+    "crash_sweep",
+    "pool_invariants",
+    "stride_indices",
+]

@@ -1,0 +1,56 @@
+"""Post-crash deniability: recovery must not become a distinguisher.
+
+The multi-snapshot game is replayed with a harness whose phone power-fails
+and crash-recovers after every access pattern, so each adversary snapshot
+images a *post-recovery* medium (rolled-back thin metadata, replayed ext4
+journals, reconciled bitmaps). The allocation adversary's advantage must
+stay at chance — the same tolerance the clean-path game tests use.
+"""
+
+import pytest
+
+from repro.adversary import MultiSnapshotGame, UnaccountableAllocationAdversary
+from repro.adversary.game import AccessOp
+from repro.testing.crashsim import CrashRecoveryHarness
+
+
+def test_harness_crash_recovers_between_rounds():
+    """The harness really injects a cut + crash boot per pattern."""
+    harness = CrashRecoveryHarness(seed=77, userdata_blocks=4096)
+    harness.setup()
+    harness.execute((AccessOp("public", "/a.bin", 8192),))
+    system = harness.system
+    assert system.last_recovery is not None  # came up via the crash path
+    snap = harness.snapshot("after-crash")
+    assert len(snap.blocks) == 4096
+    # a second round (with a hidden write) still works end to end
+    harness.execute((AccessOp("hidden", "/h.bin", 8192),))
+    assert harness.system.last_recovery is not None
+
+
+def test_post_crash_snapshots_stay_at_chance():
+    game = MultiSnapshotGame(
+        lambda i: CrashRecoveryHarness(seed=700 + i, userdata_blocks=4096),
+        rounds=2,
+        seed=9,
+    )
+    result = game.run(UnaccountableAllocationAdversary(0.0), games=8)
+    assert result.advantage <= 0.25, (
+        f"crash recovery leaks: win rate {result.win_rate:.2f}"
+    )
+
+
+@pytest.mark.crash
+def test_post_crash_snapshots_stay_at_chance_more_games():
+    game = MultiSnapshotGame(
+        lambda i: CrashRecoveryHarness(seed=900 + i, userdata_blocks=4096),
+        rounds=3,
+        seed=11,
+    )
+    for threshold in (0.0, 1.0, 4.0):
+        result = game.run(
+            UnaccountableAllocationAdversary(threshold), games=10
+        )
+        assert result.advantage <= 0.3, (
+            f"threshold {threshold}: win rate {result.win_rate:.2f}"
+        )
