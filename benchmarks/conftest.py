@@ -10,6 +10,8 @@ import pathlib
 
 import pytest
 
+from repro.obs import write_bench_json
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -21,5 +23,20 @@ def save_result():
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print("\n" + text)
+
+    return _save
+
+
+@pytest.fixture
+def save_json():
+    """Persist a BENCH_<experiment>.json telemetry payload.
+
+    The payloads are deterministic (sim-clock timestamps only, sorted
+    keys), so the committed files under benchmarks/results/ double as a
+    regression baseline: CI fails on any uncommitted drift.
+    """
+
+    def _save(experiment: str, payload) -> pathlib.Path:
+        return write_bench_json(RESULTS_DIR, experiment, payload)
 
     return _save

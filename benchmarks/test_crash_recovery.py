@@ -16,31 +16,30 @@ adversary's advantage on post-crash snapshots stays at chance.
 import pytest
 
 from repro.adversary import MultiSnapshotGame, UnaccountableAllocationAdversary
+from repro.bench import CRASHSIM_STRIDES, observed_crashsim
 from repro.bench.reporting import render_table
 from repro.testing.crashsim import (
     SCENARIOS,
     CrashRecoveryHarness,
-    count_workload_writes,
     crash_sweep,
-    stride_indices,
 )
 
 # sampled sweep keeps the bench under a minute; the exhaustive version is
 # the `pytest -m crash` tier
-STRIDES = {"metadata": 1, "pool": 1, "ext4": 2, "system": 6}
+STRIDES = CRASHSIM_STRIDES
 SEED = 0
 GAME_ROUNDS = 2
 GAMES = 8
 
 
 @pytest.fixture(scope="module")
-def sweep_reports():
-    reports = {}
-    for name, factory in SCENARIOS.items():
-        total = count_workload_writes(factory, seed=SEED)
-        indices = stride_indices(total, STRIDES[name])
-        reports[name] = crash_sweep(factory, indices=indices, seed=SEED)
-    return reports
+def crashsim_observed():
+    return observed_crashsim(strides=STRIDES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def sweep_reports(crashsim_observed):
+    return crashsim_observed[0]
 
 
 @pytest.fixture(scope="module")
@@ -53,7 +52,8 @@ def post_crash_game():
     return game.run(UnaccountableAllocationAdversary(0.0), games=GAMES)
 
 
-def test_crash_recovery_rates(benchmark, sweep_reports, save_result):
+def test_crash_recovery_rates(benchmark, crashsim_observed, sweep_reports,
+                              save_result, save_json):
     benchmark.pedantic(
         lambda: crash_sweep(
             SCENARIOS["metadata"], indices=[0, 1, 2], seed=SEED
@@ -77,6 +77,7 @@ def test_crash_recovery_rates(benchmark, sweep_reports, save_result):
             ["scenario", "writes", "swept", "failed", "recovery rate"], rows
         ),
     )
+    save_json("crashsim", crashsim_observed[1])
     benchmark.extra_info["recovery_rate"] = {
         name: report.recovery_rate for name, report in sweep_reports.items()
     }

@@ -11,7 +11,7 @@ Shape assertions below encode exactly those relations.
 
 import pytest
 
-from repro.bench import FIG4_SETTINGS, render_fig4, run_fig4
+from repro.bench import FIG4_SETTINGS, observed_fig4, render_fig4, run_fig4
 
 TRIALS = 10
 FILE_BYTES = 4 * 1024 * 1024
@@ -19,8 +19,8 @@ USERDATA_BLOCKS = 32768  # 128 MiB simulated userdata
 
 
 @pytest.fixture(scope="module")
-def fig4_results():
-    return run_fig4(
+def fig4_observed():
+    return observed_fig4(
         settings=FIG4_SETTINGS,
         trials=TRIALS,
         file_bytes=FILE_BYTES,
@@ -29,7 +29,13 @@ def fig4_results():
     )
 
 
-def test_fig4_throughput(benchmark, fig4_results, save_result):
+@pytest.fixture(scope="module")
+def fig4_results(fig4_observed):
+    return fig4_observed[0]
+
+
+def test_fig4_throughput(benchmark, fig4_observed, fig4_results,
+                         save_result, save_json):
     """Regenerate Fig. 4 and check its qualitative shape."""
     benchmark.pedantic(
         lambda: run_fig4(trials=1, file_bytes=FILE_BYTES,
@@ -38,6 +44,7 @@ def test_fig4_throughput(benchmark, fig4_results, save_result):
     )
     results = fig4_results
     save_result("fig4_throughput", render_fig4(results))
+    save_json("fig4", fig4_observed[1])
     benchmark.extra_info["fig4_kb_s"] = {
         setting: {metric: s.mean for metric, s in metrics.items()}
         for setting, metrics in results.items()

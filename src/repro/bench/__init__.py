@@ -22,6 +22,13 @@ from repro.bench.stacks import (
     build_hive_stack,
     build_raw_ext4_stack,
 )
+from repro.bench.telemetry import (
+    CRASHSIM_STRIDES,
+    observed_crashsim,
+    observed_fig4,
+    observed_table1,
+    observed_table2,
+)
 from repro.bench.workloads import (
     BONNIE_CHUNK,
     CHAR_CPU_BYTE_S,
@@ -53,6 +60,11 @@ __all__ = [
     "build_fig4_stack",
     "build_hive_stack",
     "build_raw_ext4_stack",
+    "CRASHSIM_STRIDES",
+    "observed_crashsim",
+    "observed_fig4",
+    "observed_table1",
+    "observed_table2",
     "BONNIE_CHUNK",
     "CHAR_CPU_BYTE_S",
     "bonnie_char_read",

@@ -9,6 +9,7 @@ real MobiCeal. All I/O is in whole blocks.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterator
@@ -91,6 +92,13 @@ class IOStats:
             recovery_reads=self.recovery_reads - earlier.recovery_reads,
             recovery_writes=self.recovery_writes - earlier.recovery_writes,
         )
+
+    def __sub__(self, earlier: "IOStats") -> "IOStats":
+        return self.delta(earlier)
+
+    def as_dict(self) -> dict:
+        """Plain-dict export for the observability JSON payloads."""
+        return dataclasses.asdict(self)
 
 
 class BlockDevice(ABC):

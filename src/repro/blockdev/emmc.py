@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.blockdev.clock import SimClock
 from repro.blockdev.device import DEFAULT_BLOCK_SIZE, RAMBlockDevice
 from repro.blockdev.latency import FREE, LatencyModel
@@ -54,19 +55,17 @@ class EMMCDevice(RAMBlockDevice):
     def _read(self, block: int) -> bytes:
         sequential = self._last_read_end == block
         self._last_read_end = block + 1
-        self.clock.advance(
-            self._jittered(self.latency.read_cost(self.block_size, sequential)),
-            "emmc-read",
-        )
+        cost = self._jittered(self.latency.read_cost(self.block_size, sequential))
+        self.clock.advance(cost, "emmc-read")
+        obs.observe_latency("emmc.read", cost)
         return super()._read(block)
 
     def _write(self, block: int, data: bytes) -> None:
         sequential = self._last_write_end == block
         self._last_write_end = block + 1
-        self.clock.advance(
-            self._jittered(self.latency.write_cost(self.block_size, sequential)),
-            "emmc-write",
-        )
+        cost = self._jittered(self.latency.write_cost(self.block_size, sequential))
+        self.clock.advance(cost, "emmc-write")
+        obs.observe_latency("emmc.write", cost)
         super()._write(block, data)
 
     def _flush(self) -> None:

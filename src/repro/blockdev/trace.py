@@ -5,6 +5,12 @@ operation with its simulated timestamp. Traces feed the access-pattern
 analyses in the adversary toolkit and make storage-stack debugging
 tractable: you can ask "what did the pool actually write during that
 switch?" instead of guessing.
+
+Every recorded :class:`TraceEvent` is also published to the shared
+``repro.obs`` sink (when a recorder is active) and to an optional local
+*sink* callback, so block traces land on the same timeline as spans and
+metrics. The list-based API (:attr:`TracingDevice.events` plus the
+analysis helpers) is unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.blockdev.clock import SimClock
 from repro.blockdev.device import BlockDevice
 
@@ -29,18 +36,26 @@ class TracingDevice(BlockDevice):
     """Pass-through device that records every operation."""
 
     def __init__(
-        self, base: BlockDevice, clock: Optional[SimClock] = None
+        self,
+        base: BlockDevice,
+        clock: Optional[SimClock] = None,
+        sink: Optional[Callable[[TraceEvent], None]] = None,
     ) -> None:
         super().__init__(base.num_blocks, base.block_size)
         self._base = base
         self._clock = clock
+        self._sink = sink
         self.events: List[TraceEvent] = []
 
     def _now(self) -> float:
         return self._clock.now if self._clock is not None else 0.0
 
     def _record(self, op: str, block: int) -> None:
-        self.events.append(TraceEvent(op=op, block=block, at=self._now()))
+        event = TraceEvent(op=op, block=block, at=self._now())
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+        obs.publish_io(event)
 
     def _read(self, block: int) -> bytes:
         data = self._base.read_block(block)
@@ -88,11 +103,14 @@ class TracingDevice(BlockDevice):
 
         The spatial-locality measure the paper's random-allocation argument
         is about: sequential-allocation stacks score near 1 for fresh
-        files, MobiCeal's random allocation near 0.
+        files, MobiCeal's random allocation near 0. Traces with fewer than
+        two ops carry no adjacency evidence at all and report 0.0 — never
+        "perfectly sequential", which would skew allocation-randomness
+        ablations on tiny workloads.
         """
         ops = self.ops(kind)
         if len(ops) < 2:
-            return 1.0
+            return 0.0
         sequential = sum(
             1 for a, b in zip(ops, ops[1:]) if b.block == a.block + 1
         )

@@ -8,10 +8,19 @@ Usage::
     python -m repro game [--games N]
     python -m repro sidechannel
     python -m repro crashsim [--scenario NAME] [--stride N]
+    python -m repro trace
+    python -m repro metrics
     python -m repro all
 
 Every command prints the paper-style table for its experiment, computed on
-the simulated stack. See EXPERIMENTS.md for the paper-vs-measured record.
+the simulated stack. The bench commands (fig4, table1, table2, crashsim)
+additionally write a schema-versioned ``BENCH_<experiment>.json`` with the
+observability telemetry — per-phase span durations, latency percentiles
+and deniability gauges — into ``--json-dir`` (default: the current
+directory). ``trace`` and ``metrics`` run a small end-to-end PDE session
+under observation and print the span tree / metric tables. See
+EXPERIMENTS.md for the paper-vs-measured record and docs/observability.md
+for the telemetry guide.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.adversary import (
     MobiCealHarness,
     MobiPlutoHarness,
@@ -29,35 +39,46 @@ from repro.adversary import (
 )
 from repro.android import Phone
 from repro.bench import (
+    observed_crashsim,
+    observed_fig4,
+    observed_table1,
+    observed_table2,
     render_fig4,
     render_table,
     render_table1,
     render_table2,
-    run_fig4,
-    run_table1,
-    run_table2,
 )
 from repro.core import MobiCealConfig, MobiCealSystem
 
 
+def _write_json(args: argparse.Namespace, experiment: str, payload) -> None:
+    path = obs.write_bench_json(args.json_dir, experiment, payload)
+    print(f"[telemetry: {path}]")
+
+
 def _cmd_fig4(args: argparse.Namespace) -> None:
-    results = run_fig4(
+    results, payload = observed_fig4(
         trials=args.trials,
         file_bytes=args.file_mib * 1024 * 1024,
         userdata_blocks=32768,
         seed=args.seed,
     )
     print(render_fig4(results))
+    _write_json(args, "fig4", payload)
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
-    rows = run_table1(file_bytes=args.file_mib * 1024 * 1024, seed=args.seed)
+    rows, payload = observed_table1(
+        file_bytes=args.file_mib * 1024 * 1024, seed=args.seed
+    )
     print(render_table1(rows))
+    _write_json(args, "table1", payload)
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
-    rows = run_table2(trials=args.trials, seed=args.seed)
+    rows, payload = observed_table2(trials=args.trials, seed=args.seed)
     print(render_table2(rows))
+    _write_json(args, "table2", payload)
 
 
 def _cmd_game(args: argparse.Namespace) -> None:
@@ -130,30 +151,101 @@ def _cmd_crashsim(args: argparse.Namespace) -> None:
         raise SystemExit("repro crashsim: error: --limit must be >= 0")
     names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
     rows = []
-    for name in names:
-        factory = SCENARIOS[name]
-        total = count_workload_writes(factory, seed=args.seed)
-        indices = stride_indices(total, args.stride)
-        if args.limit:
-            indices = indices[: args.limit]
-        report = crash_sweep(factory, indices=indices, seed=args.seed)
-        print(report.render())
-        print()
-        rows.append(
-            [
-                name,
-                str(report.total_writes),
-                str(report.attempted),
-                str(len(report.failures)),
-                f"{report.recovery_rate:.1%}",
-            ]
-        )
+    serialized = {}
+    with obs.observe() as recorder:
+        for name in names:
+            factory = SCENARIOS[name]
+            total = count_workload_writes(factory, seed=args.seed)
+            indices = stride_indices(total, args.stride)
+            if args.limit:
+                indices = indices[: args.limit]
+            report = crash_sweep(factory, indices=indices, seed=args.seed)
+            print(report.render())
+            print()
+            rows.append(
+                [
+                    name,
+                    str(report.total_writes),
+                    str(report.attempted),
+                    str(len(report.failures)),
+                    f"{report.recovery_rate:.1%}",
+                ]
+            )
+            serialized[name] = {
+                "total_writes": report.total_writes,
+                "attempted": report.attempted,
+                "crashes": report.crashes,
+                "failed": len(report.failures),
+                "recovery_rate": report.recovery_rate,
+            }
     print("Crash-recovery sweep — power cut at each sampled write index")
     print(
         render_table(
             ["scenario", "writes", "swept", "failed", "recovery rate"], rows
         )
     )
+    payload = obs.bench_payload(
+        "crashsim",
+        serialized,
+        recorder,
+        extra={
+            "params": {
+                "scenario": args.scenario,
+                "stride": args.stride,
+                "limit": args.limit,
+                "seed": args.seed,
+            }
+        },
+    )
+    _write_json(args, "crashsim", payload)
+
+
+# ---------------------------------------------------------------------------
+# Observability commands: trace / metrics
+# ---------------------------------------------------------------------------
+
+
+def _observed_session(seed: int) -> obs.Recorder:
+    """A small end-to-end PDE session under observation.
+
+    Initialize, boot public, write files, fast-switch to the hidden mode,
+    write a hidden file, run GC, sync — exercising every instrumented
+    layer so the resulting span tree and metric tables are representative.
+    """
+    with obs.observe() as recorder:
+        phone = Phone(seed=seed, userdata_blocks=4096)
+        system = MobiCealSystem(phone, MobiCealConfig(num_volumes=4))
+        phone.framework.power_on()
+        system.initialize("decoy", hidden_passwords=("hidden",))
+        system.boot_with_password("decoy")
+        system.start_framework()
+        for i in range(4):
+            system.store_file(f"/public/file{i}.bin", b"\xa5" * 65536)
+        system.sync()
+        system.screenlock.enter_password("hidden")
+        system.store_file("/hidden/secret.bin", b"\x5a" * 65536)
+        system.run_gc()
+        system.sync()
+        obs.record_deniability_gauges(
+            recorder.metrics,
+            pool=system.pool,
+            allocation=system.config.allocation,
+        )
+    return recorder
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    recorder = _observed_session(args.seed)
+    print("Span tree (simulated time)")
+    print(obs.render_span_tree(recorder, max_children=args.max_children))
+    print()
+    print("Span aggregates")
+    print(obs.render_span_aggregates(recorder))
+
+
+def _cmd_metrics(args: argparse.Namespace) -> None:
+    recorder = _observed_session(args.seed)
+    print(obs.render_metrics(recorder))
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -161,6 +253,13 @@ def _cmd_all(args: argparse.Namespace) -> None:
                _cmd_sidechannel):
         fn(args)
         print()
+
+
+def _add_json_dir(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json-dir", default=".",
+        help="directory for the BENCH_<experiment>.json telemetry file",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,14 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig4", help="Fig. 4: sequential throughput")
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--file-mib", type=int, default=4)
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_fig4)
 
     p = sub.add_parser("table1", help="Table I: overhead comparison")
     p.add_argument("--file-mib", type=int, default=4)
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="Table II: init/boot/switch times")
     p.add_argument("--trials", type=int, default=2)
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("game", help="multi-snapshot security game")
@@ -209,13 +311,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=0,
         help="cap the number of swept indices (0 = no cap)",
     )
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_crashsim)
+
+    p = sub.add_parser(
+        "trace", help="span tree of an observed end-to-end PDE session"
+    )
+    p.add_argument(
+        "--max-children", type=int, default=12,
+        help="children shown per span before folding",
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="counters/gauges/histograms of an observed session"
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("all", help="run every experiment")
     p.add_argument("--trials", type=int, default=2)
     p.add_argument("--file-mib", type=int, default=2)
     p.add_argument("--games", type=int, default=8)
     p.add_argument("--rounds", type=int, default=3)
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_all)
 
     return parser

@@ -23,8 +23,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.blockdev.clock import SimClock
-from repro.blockdev.faults import crash_point
 from repro.core.config import MobiCealConfig
 from repro.crypto.kdf import derive_dummy_volume_index
 from repro.crypto.rng import FlashNoiseTRNG, JiffiesSource, Rng
@@ -137,13 +137,14 @@ class DummyWritePolicy:
         self.stats.fired += 1
         m = self.burst_size()
         target = self.target_volume()
-        for _ in range(m):
-            if pool.free_data_blocks == 0:
-                return
-            crash_point("pde.dummy.burst-block")
-            written = pool.append_noise(
-                target, self.make_noise(pool.block_size), self._rng
-            )
-            if written is None:
-                return
-            self.stats.blocks_written += 1
+        with obs.span("pde.dummy.burst", clock=self._clock, blocks=m):
+            for _ in range(m):
+                if pool.free_data_blocks == 0:
+                    return
+                obs.mark("pde.dummy.burst-block")
+                written = pool.append_noise(
+                    target, self.make_noise(pool.block_size), self._rng
+                )
+                if written is None:
+                    return
+                self.stats.blocks_written += 1

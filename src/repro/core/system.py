@@ -27,8 +27,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.android.footer import CryptoFooter, data_area_blocks
 from repro.android.phone import Phone
 from repro.android.screenlock import ScreenLock
+from repro import obs
 from repro.blockdev.device import BlockDevice, SubDevice
-from repro.blockdev.faults import crash_point
 from repro.core.config import DEFAULT_CONFIG, MobiCealConfig
 from repro.core.dummywrite import DummyWritePolicy
 from repro.core.gc import GCResult, collect_dummy_space
@@ -205,6 +205,21 @@ class MobiCealSystem:
         one or more hidden passwords it is the extended scheme, each
         password protecting its own hidden volume (Sec. IV-C).
         """
+        with obs.span(
+            "system.initialize",
+            clock=self.phone.clock,
+            hidden_volumes=len(hidden_passwords),
+        ):
+            self._initialize_impl(
+                decoy_password, hidden_passwords, screenlock_password
+            )
+
+    def _initialize_impl(
+        self,
+        decoy_password: str,
+        hidden_passwords: Tuple[str, ...],
+        screenlock_password: str,
+    ) -> None:
         phone = self.phone
         if len(hidden_passwords) >= self.config.num_volumes - 1:
             raise PDEError(
@@ -296,33 +311,37 @@ class MobiCealSystem:
 
     def _activate_pool(self, after_crash: bool = False) -> ThinPool:
         phone = self.phone
-        self._charge(phone.profile.thin_activation_s, "thin-activation")
-        self._charge(MOBICEAL_BOOT_EXTRA_S, "pde-kernel-init")
-        meta_dev, data_dev = self._lvm_devices()
-        self.last_recovery = None
-        if after_crash:
-            pool, recovery = ThinPool.recover(
-                meta_dev,
-                data_dev,
-                allocation=self.config.allocation,
-                rng=phone.rng.fork(
-                    f"allocator-boot-{phone.framework.boot_count}"
-                ),
-                clock=phone.clock,
-                costs=phone.profile.thin_costs,
-            )
-            self.last_recovery = recovery
-        else:
-            pool = ThinPool.open(
-                meta_dev,
-                data_dev,
-                allocation=self.config.allocation,
-                rng=phone.rng.fork(
-                    f"allocator-boot-{phone.framework.boot_count}"
-                ),
-                clock=phone.clock,
-                costs=phone.profile.thin_costs,
-            )
+        with obs.span(
+            "system.pool-activate", clock=phone.clock, after_crash=after_crash
+        ):
+            self._charge(phone.profile.thin_activation_s, "thin-activation")
+            self._charge(MOBICEAL_BOOT_EXTRA_S, "pde-kernel-init")
+            meta_dev, data_dev = self._lvm_devices()
+            self.last_recovery = None
+            if after_crash:
+                with obs.span("system.pool-recover", clock=phone.clock):
+                    pool, recovery = ThinPool.recover(
+                        meta_dev,
+                        data_dev,
+                        allocation=self.config.allocation,
+                        rng=phone.rng.fork(
+                            f"allocator-boot-{phone.framework.boot_count}"
+                        ),
+                        clock=phone.clock,
+                        costs=phone.profile.thin_costs,
+                    )
+                self.last_recovery = recovery
+            else:
+                pool = ThinPool.open(
+                    meta_dev,
+                    data_dev,
+                    allocation=self.config.allocation,
+                    rng=phone.rng.fork(
+                        f"allocator-boot-{phone.framework.boot_count}"
+                    ),
+                    clock=phone.clock,
+                    costs=phone.profile.thin_costs,
+                )
         policy = DummyWritePolicy(
             self.config,
             phone.rng.fork(f"dummy-{phone.framework.boot_count}"),
@@ -359,24 +378,27 @@ class MobiCealSystem:
             raise ModeError("already booted; reboot first")
         if self.mode is Mode.UNINITIALIZED:
             raise NotInitializedError("initialize() the system first")
-        pool = self._activate_pool(after_crash=after_crash)
-        self._charge(phone.profile.pbkdf2_s, "pbkdf2")
-        footer = CryptoFooter.load(phone.userdata)
-        key = footer.unlock(password)
-        self._charge(phone.profile.dmsetup_s, "dmsetup")
-        public_dev = self._volume_device(PUBLIC_VOLUME_ID, key,
-                                         skip_verifier=False)
-        fs = make_filesystem(self.config.fstype, public_dev)
-        self._charge(phone.profile.mount_s, "mount")
-        try:
-            fs.mount()
-        except NotFormattedError:
-            return self._boot_hidden_fallback(password, footer, key)
-        self._fs = fs
-        phone.framework.mounts.mount("/data", fs)
-        self._mount_log_partitions(tmpfs=False)
-        self.mode = Mode.PUBLIC
-        return fs
+        with obs.span(
+            "system.boot", clock=phone.clock, after_crash=after_crash
+        ):
+            pool = self._activate_pool(after_crash=after_crash)
+            self._charge(phone.profile.pbkdf2_s, "pbkdf2")
+            footer = CryptoFooter.load(phone.userdata)
+            key = footer.unlock(password)
+            self._charge(phone.profile.dmsetup_s, "dmsetup")
+            public_dev = self._volume_device(PUBLIC_VOLUME_ID, key,
+                                             skip_verifier=False)
+            fs = make_filesystem(self.config.fstype, public_dev)
+            self._charge(phone.profile.mount_s, "mount")
+            try:
+                fs.mount()
+            except NotFormattedError:
+                return self._boot_hidden_fallback(password, footer, key)
+            self._fs = fs
+            phone.framework.mounts.mount("/data", fs)
+            self._mount_log_partitions(tmpfs=False)
+            self.mode = Mode.PUBLIC
+            return fs
 
     def _boot_hidden_fallback(
         self, password: str, footer: CryptoFooter, key: bytes
@@ -481,28 +503,29 @@ class MobiCealSystem:
         if checked is None:
             return False
         k, key = checked
-        # Shut down the framework: Android requires /data, so this is how
-        # the public volume gets unmounted.
-        phone.framework.stop_framework()
-        phone.framework.mounts.unmount("/data")
-        self._fs = None
-        crash_point("system.switch.data-unmounted")
-        # Isolate the leak paths before the hidden volume appears.
-        self._mount_log_partitions(tmpfs=self.config.isolate_side_channels)
-        phone.framework.note_secret_in_ram(password)
-        self._charge(phone.profile.dmsetup_s, "dmsetup")
-        hidden_dev = self._volume_device(k, key, skip_verifier=True)
-        fs = make_filesystem(self.config.fstype, hidden_dev)
-        self._charge(phone.profile.mount_s, "mount")
-        fs.mount()
-        crash_point("system.switch.hidden-mounted")
-        self._fs = fs
-        phone.framework.mounts.mount("/data", fs)
-        phone.framework.start_framework(warm=True)
-        self._install_screenlock()
-        self._hidden_k_in_session = k
-        self.mode = Mode.HIDDEN
-        return True
+        with obs.span("system.switch.fast", clock=phone.clock):
+            # Shut down the framework: Android requires /data, so this is
+            # how the public volume gets unmounted.
+            phone.framework.stop_framework()
+            phone.framework.mounts.unmount("/data")
+            self._fs = None
+            obs.mark("system.switch.data-unmounted")
+            # Isolate the leak paths before the hidden volume appears.
+            self._mount_log_partitions(tmpfs=self.config.isolate_side_channels)
+            phone.framework.note_secret_in_ram(password)
+            self._charge(phone.profile.dmsetup_s, "dmsetup")
+            hidden_dev = self._volume_device(k, key, skip_verifier=True)
+            fs = make_filesystem(self.config.fstype, hidden_dev)
+            self._charge(phone.profile.mount_s, "mount")
+            fs.mount()
+            obs.mark("system.switch.hidden-mounted")
+            self._fs = fs
+            phone.framework.mounts.mount("/data", fs)
+            phone.framework.start_framework(warm=True)
+            self._install_screenlock()
+            self._hidden_k_in_session = k
+            self.mode = Mode.HIDDEN
+            return True
 
     def switch_to_public_unsafe(self, decoy_password: str) -> None:
         """Hidden -> public *without* rebooting — deliberately vulnerable.
@@ -626,19 +649,20 @@ class MobiCealSystem:
         if self.mode is not Mode.HIDDEN:
             raise ModeError("garbage collection runs in the hidden mode only")
         assert self._hidden_k_in_session is not None
-        dummy_ids = [
-            vol_id
-            for vol_id in self.pool.volume_ids()
-            if vol_id not in (PUBLIC_VOLUME_ID, self._hidden_k_in_session)
-        ]
-        result = collect_dummy_space(
-            self.pool,
-            dummy_ids,
-            self.phone.rng.fork(f"gc-{self.phone.clock.now}"),
-            shape=self.config.gc_shape,
-        )
-        self.pool.commit()
-        return result
+        with obs.span("system.gc", clock=self.phone.clock):
+            dummy_ids = [
+                vol_id
+                for vol_id in self.pool.volume_ids()
+                if vol_id not in (PUBLIC_VOLUME_ID, self._hidden_k_in_session)
+            ]
+            result = collect_dummy_space(
+                self.pool,
+                dummy_ids,
+                self.phone.rng.fork(f"gc-{self.phone.clock.now}"),
+                shape=self.config.gc_shape,
+            )
+            self.pool.commit()
+            return result
 
     # -- introspection ---------------------------------------------------------------------------
 

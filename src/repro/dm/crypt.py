@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
 from repro.blockdev.device import BlockDevice
 from repro.blockdev.clock import SimClock
 from repro.crypto.stream import Blake2Ctr, SectorCipher
@@ -56,10 +57,12 @@ class CryptTarget(Target):
     def read(self, block: int) -> bytes:
         ciphertext = self._device.read_block(block)
         self._charge(len(ciphertext))
+        obs.counter_add("crypt.bytes_decrypted", len(ciphertext))
         return self._cipher.decrypt_sector(self._sector_of(block), ciphertext)
 
     def write(self, block: int, data: bytes) -> None:
         self._charge(len(data))
+        obs.counter_add("crypt.bytes_encrypted", len(data))
         ciphertext = self._cipher.encrypt_sector(self._sector_of(block), data)
         self._device.write_block(block, ciphertext)
 

@@ -27,8 +27,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.blockdev.device import BlockDevice, recovery_io
-from repro.blockdev.faults import crash_point
 from repro.dm.thin.bitmap import Bitmap
 from repro.errors import MetadataError, MetadataFullError
 
@@ -299,14 +299,14 @@ class MetadataStore:
             start,
             self._pack_area_header(generation, payload, metadata.transaction_id),
         )
-        crash_point("thin.meta.area-written")
+        obs.mark("thin.meta.area-written")
         # Barrier: the area (payload + header) must be durable before the
         # superblock names it, or a cut could flip to a half-written area.
         self._device.flush()
         self._device.write_block(
             0, self._pack_super(generation, payload, metadata.transaction_id)
         )
-        crash_point("thin.meta.superblock-written")
+        obs.mark("thin.meta.superblock-written")
         self._device.flush()
 
     def load(self) -> PoolMetadata:

@@ -20,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set
 
+from repro import obs
 from repro.blockdev.clock import SimClock
 from repro.blockdev.device import BlockDevice, recovery_io
-from repro.blockdev.faults import crash_point
 from repro.crypto.rng import Rng
 from repro.dm.thin.allocation import make_allocator
 from repro.dm.thin.metadata import (
@@ -402,17 +402,18 @@ class ThinPool:
 
     def commit(self) -> None:
         """Persist metadata (shadow-paged) and close the transaction."""
-        crash_point("thin.pool.commit")
-        self._store.commit(self._meta)
-        self.uncommitted_allocations.clear()
-        self.stats.commits += 1
-        # The unmaps are durable now; pass the discards down, skipping any
-        # block that was re-provisioned within the same transaction.
-        pending, self._pending_discards = self._pending_discards, []
-        for pblock in pending:
-            if not self._meta.bitmap.test(pblock):
-                self._data.discard(pblock)
-        crash_point("thin.pool.commit.done")
+        with obs.span("pool.commit", clock=self._clock):
+            obs.mark("thin.pool.commit")
+            self._store.commit(self._meta)
+            self.uncommitted_allocations.clear()
+            self.stats.commits += 1
+            # The unmaps are durable now; pass the discards down, skipping any
+            # block that was re-provisioned within the same transaction.
+            pending, self._pending_discards = self._pending_discards, []
+            for pblock in pending:
+                if not self._meta.bitmap.test(pblock):
+                    self._data.discard(pblock)
+            obs.mark("thin.pool.commit.done")
 
     def flush(self) -> None:
         """Flush data and commit metadata."""

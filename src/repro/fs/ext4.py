@@ -33,8 +33,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
+from repro import obs
 from repro.blockdev.device import BlockDevice, recovery_io
-from repro.blockdev.faults import crash_point
 from repro.errors import (
     DirectoryNotEmptyError,
     FileExistsInFS,
@@ -338,6 +338,10 @@ class Ext4Filesystem(Filesystem):
         either replays the whole transaction or discards it. Without the
         journal the write sequence is exactly the legacy one.
         """
+        with obs.span("ext4.flush"):
+            self._flush_impl()
+
+    def _flush_impl(self) -> None:
         journaling = self._journal_blocks > 0
         if journaling:
             self._capture = {}
@@ -381,6 +385,10 @@ class Ext4Filesystem(Filesystem):
     # -- journal ---------------------------------------------------------------
 
     def _journal_commit(self, txn: Dict[int, bytes]) -> None:
+        with obs.span("ext4.journal.commit", blocks=len(txn)):
+            self._journal_commit_txn(txn)
+
+    def _journal_commit_txn(self, txn: Dict[int, bytes]) -> None:
         items = sorted(txn.items())
         capacity = min(
             self._journal_blocks - 1,
@@ -408,13 +416,13 @@ class Ext4Filesystem(Filesystem):
             self._device.write_block(
                 self._journal_start, head + b"\x00" * (self._bs - len(head))
             )
-            crash_point("ext4.journal.committed")
+            obs.mark("ext4.journal.committed")
             # Barrier: the journal must be durable before the checkpoint
             # starts overwriting live metadata in place.
             self._device.flush()
             for block, data in chunk:
                 self._device.write_block(block, data)
-            crash_point("ext4.checkpoint.done")
+            obs.mark("ext4.checkpoint.done")
             self._device.flush()
 
     def _parse_journal_header(self, raw: bytes) -> Optional[tuple]:

@@ -1,0 +1,90 @@
+"""Cross-layer observability: span tracing, metrics, shared event timeline.
+
+``repro.obs`` is the stack's single interception spine. Instrumented code
+calls :func:`span` (nested timing intervals on the sim clock),
+:func:`mark` (named instants that *also* drive the crash-point
+fault-injection machinery), :func:`observe_latency` /
+:func:`counter_add` / :func:`gauge_set` (metrics), and
+:class:`~repro.blockdev.trace.TracingDevice` publishes its block events
+through :func:`publish_io` — so spans, metrics and block traces land on
+one shared timeline that the bench telemetry and the adversary toolkit
+both consume.
+
+Everything is **zero-overhead-by-default**: with no recorder active every
+entry point is a single ``is None`` check and nothing is retained. Wrap a
+workload in :func:`observe` to collect, then export with
+:mod:`repro.obs.export`.
+
+See ``docs/observability.md`` for the full guide.
+"""
+
+# NOTE: import order matters — recorder must be bound before gauges/export
+# load, because instrumented modules they pull in do `from repro.obs import
+# mark` against this (then partially initialized) package.
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.obs.recorder import (
+    MarkRecord,
+    Recorder,
+    SpanRecord,
+    counter_add,
+    current,
+    enabled,
+    gauge_set,
+    mark,
+    observe,
+    observe_latency,
+    publish_io,
+    span,
+)
+from repro.obs.gauges import (
+    allocation_sequentiality_probe,
+    pool_deniability_gauges,
+    record_deniability_gauges,
+)
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    bench_payload,
+    dump_json,
+    recorder_payload,
+    render_metrics,
+    render_span_aggregates,
+    render_span_tree,
+    write_bench_json,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MarkRecord",
+    "Recorder",
+    "SpanRecord",
+    "counter_add",
+    "current",
+    "enabled",
+    "gauge_set",
+    "mark",
+    "observe",
+    "observe_latency",
+    "publish_io",
+    "span",
+    "allocation_sequentiality_probe",
+    "pool_deniability_gauges",
+    "record_deniability_gauges",
+    "SCHEMA_VERSION",
+    "bench_payload",
+    "dump_json",
+    "recorder_payload",
+    "render_metrics",
+    "render_span_aggregates",
+    "render_span_tree",
+    "write_bench_json",
+]

@@ -1,0 +1,190 @@
+"""Exporters: versioned JSON payloads and human-readable renderings.
+
+Everything a :class:`~repro.obs.recorder.Recorder` collected can be turned
+into (a) a machine-readable, schema-versioned dict for the bench
+telemetry's ``BENCH_<experiment>.json`` files, or (b) text tables / span
+trees for the ``repro trace`` and ``repro metrics`` CLI commands.
+
+Payloads are deterministic by construction: they contain only sim-clock
+timestamps and seeded measurements, never wall-clock time, so regenerating
+a bench JSON with the same seed is byte-identical (which is what lets CI
+fail on uncommitted drift in ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.recorder import Recorder, SpanRecord
+
+#: Version of the BENCH_*.json schema. Bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Local fixed-width table renderer (obs must not import repro.bench)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# JSON payloads
+# ---------------------------------------------------------------------------
+
+
+def recorder_payload(recorder: Recorder) -> Dict[str, object]:
+    """Everything the recorder collected, as a JSON-serializable dict."""
+    by_op: Dict[str, int] = {}
+    for event in recorder.io_events:
+        by_op[event.op] = by_op.get(event.op, 0) + 1
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spans": recorder.span_aggregates(),
+        "marks": recorder.mark_counts(),
+        "metrics": recorder.metrics.as_dict(),
+        "io": {"events": len(recorder.io_events), "by_op": by_op},
+    }
+
+
+def bench_payload(
+    experiment: str,
+    results: Dict[str, object],
+    recorder: Recorder,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A full ``BENCH_<experiment>.json`` payload."""
+    payload = recorder_payload(recorder)
+    payload["experiment"] = experiment
+    payload["results"] = results
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def dump_json(payload: Dict[str, object]) -> str:
+    """Canonical serialization: sorted keys, 2-space indent, newline."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_bench_json(
+    directory, experiment: str, payload: Dict[str, object]
+) -> pathlib.Path:
+    """Write ``BENCH_<experiment>.json`` under *directory*; return the path."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{experiment}.json"
+    path.write_text(dump_json(payload))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Human-readable renderings
+# ---------------------------------------------------------------------------
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_span_tree(
+    recorder: Recorder, max_children: int = 12
+) -> str:
+    """The span forest with sim-clock durations, one line per span."""
+    if not recorder.spans:
+        return "(no spans recorded)"
+    lines: List[str] = []
+
+    def emit(span: SpanRecord) -> None:
+        indent = "  " * span.depth
+        lines.append(
+            f"{indent}{span.name}  [{_fmt_s(span.duration)}"
+            f" @ t={span.start:.4f}]"
+        )
+        children = recorder.children_of(span)
+        for child in children[:max_children]:
+            emit(child)
+        if len(children) > max_children:
+            lines.append(
+                "  " * (span.depth + 1)
+                + f"... and {len(children) - max_children} more children"
+            )
+
+    for root in recorder.roots():
+        emit(root)
+    return "\n".join(lines)
+
+
+def render_span_aggregates(recorder: Recorder) -> str:
+    aggregates = recorder.span_aggregates()
+    if not aggregates:
+        return "(no spans recorded)"
+    rows = [
+        [
+            name,
+            str(int(agg["count"])),
+            _fmt_s(agg["total_s"]),
+            _fmt_s(agg["mean_s"]),
+            _fmt_s(agg["max_s"]),
+        ]
+        for name, agg in sorted(aggregates.items())
+    ]
+    return _render_table(["span", "count", "total", "mean", "max"], rows)
+
+
+def render_metrics(recorder: Recorder) -> str:
+    """Counters, gauges, histograms and marks as stacked text tables."""
+    sections: List[str] = []
+    metrics = recorder.metrics
+    if metrics.counters:
+        rows = [
+            [name, f"{c.value:g}"]
+            for name, c in sorted(metrics.counters.items())
+        ]
+        sections.append("Counters\n" + _render_table(["counter", "value"], rows))
+    if metrics.gauges:
+        rows = [
+            [name, f"{g.value:.4f}"]
+            for name, g in sorted(metrics.gauges.items())
+        ]
+        sections.append("Gauges\n" + _render_table(["gauge", "value"], rows))
+    if metrics.histograms:
+        rows = [
+            [
+                name,
+                str(h.count),
+                _fmt_s(h.mean),
+                _fmt_s(h.p50),
+                _fmt_s(h.p95),
+                _fmt_s(h.p99),
+                _fmt_s(h.maximum),
+            ]
+            for name, h in sorted(metrics.histograms.items())
+        ]
+        sections.append(
+            "Latency histograms\n"
+            + _render_table(
+                ["histogram", "n", "mean", "p50", "p95", "p99", "max"], rows
+            )
+        )
+    marks = recorder.mark_counts()
+    if marks:
+        rows = [[name, str(count)] for name, count in sorted(marks.items())]
+        sections.append("Marks\n" + _render_table(["mark", "hits"], rows))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

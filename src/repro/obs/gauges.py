@@ -1,0 +1,104 @@
+"""Deniability-specific gauges computed from live stack state.
+
+These quantify exactly the properties the multi-snapshot adversary probes
+(and the paper argues about): how much extra I/O the dummy-write defense
+costs, how scattered the allocator is, how full the global bitmap sits and
+how provisioning is shared across volumes. The bench telemetry records
+them into every ``BENCH_*.json`` so regressions in the defense posture are
+machine-detectable, not just visible in prose.
+
+Imports of the instrumented layers are deliberately lazy so this module
+can load while ``repro.obs`` itself is initializing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricRegistry
+
+
+def pool_deniability_gauges(pool) -> Dict[str, float]:
+    """Gauges derived from a :class:`~repro.dm.thin.pool.ThinPool`.
+
+    * ``pde.dummy_amplification`` — dummy blocks written per real volume
+      write (the write-amplification price of the defense);
+    * ``pde.dummy_burst_rate`` — dummy bursts fired per provisioning;
+    * ``pde.bitmap_occupancy`` — allocated fraction of the data area;
+    * ``pde.volume_write_share.vol<k>`` — each volume's share of all
+      provisioned blocks (what the metadata itself reveals).
+    """
+    stats = pool.stats
+    real = stats.real_writes
+    gauges: Dict[str, float] = {
+        "pde.dummy_amplification": stats.dummy_blocks / real if real else 0.0,
+        "pde.dummy_burst_rate": (
+            stats.dummy_bursts / stats.provisions if stats.provisions else 0.0
+        ),
+        "pde.bitmap_occupancy": (
+            pool.allocated_data_blocks / pool.num_data_blocks
+        ),
+    }
+    allocated = pool.allocated_data_blocks
+    for vol_id in pool.volume_ids():
+        share = (
+            pool.volume_record(vol_id).provisioned_blocks / allocated
+            if allocated
+            else 0.0
+        )
+        gauges[f"pde.volume_write_share.vol{vol_id}"] = share
+    return gauges
+
+
+def allocation_sequentiality_probe(
+    allocation: str = "random", blocks: int = 64, seed: int = 3
+) -> float:
+    """Sequentiality of a fresh pool's write trace under *allocation*.
+
+    Runs a tiny self-contained probe (a traced RAM device under a thin
+    pool) and returns :meth:`TracingDevice.sequentiality` of the resulting
+    data-device trace — near 1 for the stock sequential allocator, near 0
+    for MobiCeal's random allocator.
+    """
+    from repro.blockdev.device import RAMBlockDevice
+    from repro.blockdev.trace import TracingDevice
+    from repro.crypto.rng import Rng
+    from repro.dm.thin.pool import ThinPool
+
+    data = TracingDevice(RAMBlockDevice(max(blocks * 4, 64)))
+    meta = RAMBlockDevice(16)
+    pool = ThinPool.format(
+        meta, data, allocation=allocation, rng=Rng(seed).fork("gauge-probe")
+    )
+    pool.create_thin(1, data.num_blocks)
+    thin = pool.get_thin(1)
+    payload = b"\xa5" * pool.block_size
+    for i in range(blocks):
+        thin.write_block(i, payload)
+    return data.sequentiality("write")
+
+
+def record_deniability_gauges(
+    registry: MetricRegistry,
+    pool=None,
+    trace=None,
+    allocation: Optional[str] = None,
+) -> None:
+    """Set the deniability gauges on *registry* from the given sources.
+
+    *pool* supplies the amplification/occupancy/share gauges, *trace* (a
+    :class:`TracingDevice`) the measured allocation sequentiality;
+    *allocation* falls back to the synthetic probe when no trace of the
+    real data device is available.
+    """
+    if pool is not None:
+        for name, value in pool_deniability_gauges(pool).items():
+            registry.gauge(name).set(value)
+    if trace is not None:
+        registry.gauge("pde.allocation_sequentiality").set(
+            trace.sequentiality("write")
+        )
+    elif allocation is not None:
+        registry.gauge("pde.allocation_sequentiality").set(
+            allocation_sequentiality_probe(allocation)
+        )

@@ -1,0 +1,268 @@
+"""The observability recorder: spans, marks, metrics, one shared timeline.
+
+A :class:`Recorder` is the single event sink of the stack. While one is
+active (inside :func:`observe`), instrumented code records
+
+* **spans** — nested begin/end intervals on the simulated clock
+  (``with span("pool.commit", clock=...)``);
+* **marks** — named instants. :func:`mark` is also the fault-injection
+  spine: every mark is forwarded to
+  :func:`repro.blockdev.faults.crash_point`, so the crash-point registry
+  and the observability timeline share one set of interception sites;
+* **I/O events** — every :class:`~repro.blockdev.trace.TraceEvent` a
+  :class:`~repro.blockdev.trace.TracingDevice` records is also published
+  here, putting block traces on the same timeline as spans and metrics;
+* **metrics** — counters, gauges and latency histograms via the attached
+  :class:`~repro.obs.metrics.MetricRegistry`.
+
+With no recorder active every entry point degenerates to a cheap
+``is None`` check (and, for :func:`mark`, the pre-existing crash-point
+no-op), so production paths and the calibrated benches pay nothing:
+**no events are ever retained while observability is disabled**.
+
+The recorder never draws randomness and never advances a clock, so
+enabling it cannot perturb a seeded experiment — bench text outputs are
+byte-identical with and without observability.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.blockdev.faults import crash_point
+from repro.obs.metrics import MetricRegistry
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    index: int
+    name: str
+    start: float
+    parent: Optional[int]  # index of the enclosing span, if any
+    depth: int
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass(frozen=True)
+class MarkRecord:
+    """One named instant on the timeline."""
+
+    name: str
+    at: float
+
+
+class Recorder:
+    """Collects spans, marks, I/O events and metrics for one observation."""
+
+    def __init__(self, clock=None) -> None:
+        #: default clock for spans/marks that do not pass their own
+        self.clock = clock
+        self.spans: List[SpanRecord] = []
+        self.marks: List[MarkRecord] = []
+        self.io_events: List[object] = []  # TraceEvent, kept duck-typed
+        self.metrics = MetricRegistry()
+        self._stack: List[int] = []
+
+    # -- time ---------------------------------------------------------------
+
+    def _now(self, clock=None) -> float:
+        c = clock if clock is not None else self.clock
+        return c.now if c is not None else 0.0
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, clock=None, **attrs) -> "_ActiveSpan":
+        return _ActiveSpan(self, name, clock, attrs)
+
+    def mark(self, name: str, clock=None) -> None:
+        self.marks.append(MarkRecord(name, self._now(clock)))
+
+    def record_io(self, event) -> None:
+        self.io_events.append(event)
+
+    # -- queries ------------------------------------------------------------
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: SpanRecord) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent == span.index]
+
+    def roots(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent is None]
+
+    def span_aggregates(self) -> Dict[str, Dict[str, float]]:
+        """Per-name span statistics: count, total/mean/max duration."""
+        out: Dict[str, Dict[str, float]] = {}
+        for s in self.spans:
+            agg = out.setdefault(
+                s.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_s"] += s.duration
+            if s.duration > agg["max_s"]:
+                agg["max_s"] = s.duration
+        for agg in out.values():
+            agg["mean_s"] = agg["total_s"] / agg["count"]
+        return out
+
+    def mark_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for m in self.marks:
+            counts[m.name] = counts.get(m.name, 0) + 1
+        return counts
+
+    def timeline(self) -> List[Tuple[float, str, str]]:
+        """All events merged into one ``(at, kind, label)`` timeline."""
+        entries: List[Tuple[float, str, str]] = []
+        for s in self.spans:
+            entries.append((s.start, "span-begin", s.name))
+            if s.end is not None:
+                entries.append((s.end, "span-end", s.name))
+        entries.extend((m.at, "mark", m.name) for m in self.marks)
+        entries.extend(
+            (getattr(e, "at", 0.0), "io", f"{e.op}@{e.block}")
+            for e in self.io_events
+        )
+        entries.sort(key=lambda t: t[0])
+        return entries
+
+
+class _ActiveSpan:
+    """Context manager binding one :class:`SpanRecord` to its recorder."""
+
+    __slots__ = ("_recorder", "_name", "_clock", "_attrs", "record")
+
+    def __init__(self, recorder: Recorder, name: str, clock, attrs) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._clock = clock
+        self._attrs = attrs
+        self.record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> SpanRecord:
+        rec = self._recorder
+        record = SpanRecord(
+            index=len(rec.spans),
+            name=self._name,
+            start=rec._now(self._clock),
+            parent=rec._stack[-1] if rec._stack else None,
+            depth=len(rec._stack),
+            attrs=dict(self._attrs),
+        )
+        rec.spans.append(record)
+        rec._stack.append(record.index)
+        self.record = record
+        return record
+
+    def __exit__(self, *exc: object) -> None:
+        assert self.record is not None
+        self.record.end = self._recorder._now(self._clock)
+        # tolerate exceptions that unwound inner spans without __exit__
+        stack = self._recorder._stack
+        if self.record.index in stack:
+            del stack[stack.index(self.record.index):]
+
+
+class _NullSpan:
+    """Shared no-op span handed out while observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_CURRENT: Optional[Recorder] = None
+
+
+def current() -> Optional[Recorder]:
+    """The active recorder, or None while observability is disabled."""
+    return _CURRENT
+
+
+def enabled() -> bool:
+    return _CURRENT is not None
+
+
+@contextlib.contextmanager
+def observe(clock=None) -> Iterator[Recorder]:
+    """Activate a fresh :class:`Recorder` for the ``with`` body.
+
+    Nesting is allowed; the inner recorder shadows the outer one and the
+    outer is restored on exit (instrumentation only ever reports to the
+    innermost active recorder).
+    """
+    global _CURRENT
+    recorder = Recorder(clock=clock)
+    previous = _CURRENT
+    _CURRENT = recorder
+    try:
+        yield recorder
+    finally:
+        _CURRENT = previous
+
+
+# -- instrumentation entry points (all no-ops when disabled) -----------------
+
+
+def span(name: str, clock=None, **attrs):
+    """Open a span; returns a shared no-op when observability is off."""
+    rec = _CURRENT
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, clock=clock, **attrs)
+
+
+def mark(name: str, clock=None) -> None:
+    """Record a named instant AND fire the crash-point machinery.
+
+    This is the unified interception spine: fault-injection plans keyed on
+    crash-point names keep working unchanged, and while a recorder is
+    active the same site lands on the observability timeline. The mark is
+    recorded *before* the crash point fires so an injected power cut still
+    leaves the site visible in the timeline.
+    """
+    rec = _CURRENT
+    if rec is not None:
+        rec.mark(name, clock)
+    crash_point(name)
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    rec = _CURRENT
+    if rec is not None:
+        rec.metrics.counter(name).add(value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    rec = _CURRENT
+    if rec is not None:
+        rec.metrics.gauge(name).set(value)
+
+
+def observe_latency(name: str, seconds: float) -> None:
+    """Feed one operation latency into the named histogram."""
+    rec = _CURRENT
+    if rec is not None:
+        rec.metrics.histogram(name).observe(seconds)
+
+
+def publish_io(event) -> None:
+    """Publish a block-trace event onto the shared timeline."""
+    rec = _CURRENT
+    if rec is not None:
+        rec.io_events.append(event)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,23 +14,31 @@ class TestParser:
 
     def test_commands_registered(self):
         parser = build_parser()
-        for command in ("fig4", "table1", "table2", "game", "sidechannel", "all"):
-            args = parser.parse_args(
-                [command] if command not in ("fig4", "table2") else [command]
-            )
+        for command in ("fig4", "table1", "table2", "game", "sidechannel",
+                        "crashsim", "trace", "metrics", "all"):
+            args = parser.parse_args([command])
             assert args.command == command
 
     def test_seed_option(self):
         args = build_parser().parse_args(["--seed", "7", "table1"])
         assert args.seed == 7
 
+    def test_json_dir_option(self):
+        args = build_parser().parse_args(["table1", "--json-dir", "/tmp/x"])
+        assert args.json_dir == "/tmp/x"
+
 
 class TestExecution:
-    def test_table1_runs(self, capsys):
-        assert main(["table1", "--file-mib", "1"]) == 0
+    def test_table1_runs(self, capsys, tmp_path):
+        assert main(["table1", "--file-mib", "1",
+                     "--json-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "Table I" in out
         assert "MobiCeal" in out
+        payload = json.loads((tmp_path / "BENCH_table1.json").read_text())
+        assert payload["schema_version"] == 1
+        assert payload["experiment"] == "table1"
+        assert "pde.dummy_amplification" in payload["metrics"]["gauges"]
 
     def test_sidechannel_runs(self, capsys):
         assert main(["sidechannel"]) == 0
@@ -36,15 +46,41 @@ class TestExecution:
         assert "no leakage found" in out
         assert "RAM" in out
 
-    def test_fig4_runs_small(self, capsys):
-        assert main(["fig4", "--trials", "1", "--file-mib", "1"]) == 0
+    def test_fig4_runs_small(self, capsys, tmp_path):
+        assert main(["fig4", "--trials", "1", "--file-mib", "1",
+                     "--json-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out
         for setting in ("android", "a-t-p", "mc-p"):
             assert setting in out
+        payload = json.loads((tmp_path / "BENCH_fig4.json").read_text())
+        assert "emmc.write" in payload["metrics"]["histograms"]
 
     def test_game_runs_small(self, capsys):
         assert main(["game", "--games", "2", "--rounds", "2"]) == 0
         out = capsys.readouterr().out
         assert "advantage" in out
         assert "MobiPluto" in out
+
+    def test_trace_runs(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Span tree" in out
+        assert "system.initialize" in out
+        assert "system.switch.fast" in out
+
+    def test_metrics_runs(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency histograms" in out
+        assert "emmc.write" in out
+        assert "pde.dummy_amplification" in out
+
+    def test_crashsim_runs_small(self, capsys, tmp_path):
+        assert main(["crashsim", "--scenario", "metadata", "--stride", "4",
+                     "--limit", "3", "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery rate" in out
+        payload = json.loads((tmp_path / "BENCH_crashsim.json").read_text())
+        assert payload["results"]["metadata"]["attempted"] == 3
+        assert "thin.meta.area-written" in payload["marks"]

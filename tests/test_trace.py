@@ -72,6 +72,35 @@ class TestTracingDevice:
             traced.write_block(i, block(1))
         assert traced.sequentiality("write") == 0.0
 
+    def test_sequentiality_undefined_below_two_ops(self):
+        """No adjacency evidence -> 0.0, never 'perfectly sequential'."""
+        traced = TracingDevice(RAMBlockDevice(8))
+        assert traced.sequentiality("write") == 0.0
+        traced.write_block(0, block(1))
+        assert traced.sequentiality("write") == 0.0
+        traced.write_block(1, block(2))
+        assert traced.sequentiality("write") == 1.0
+
+    def test_events_published_to_sink(self):
+        seen = []
+        traced = TracingDevice(RAMBlockDevice(8), sink=seen.append)
+        traced.write_block(0, block(1))
+        traced.read_block(0)
+        assert [e.op for e in seen] == ["write", "read"]
+        assert seen == traced.events
+
+    def test_events_published_to_obs_recorder(self):
+        from repro import obs
+
+        traced = TracingDevice(RAMBlockDevice(8))
+        traced.write_block(0, block(1))  # no recorder: not retained
+        with obs.observe() as recorder:
+            traced.write_block(1, block(2))
+            traced.flush()
+        traced.write_block(2, block(3))  # after the window: not retained
+        assert [e.op for e in recorder.io_events] == ["write", "flush"]
+        assert len(traced.events) == 4  # local list keeps everything
+
     def test_touched_blocks(self):
         traced = TracingDevice(RAMBlockDevice(8))
         traced.write_block(5, block(1))
