@@ -1,0 +1,86 @@
+"""Workload-mix overhead — app-shaped traffic replayed across the stacks.
+
+The paper's Fig. 4 measures sequential dd/Bonnie streams; real phones
+issue small synced appends, WAL commits, media bursts and installs. This
+bench records one ``mixed_daily`` trace (Zipf file popularity, bursty
+arrivals) and replays it bit-for-bit on Android-FDE, stock dm-thin and
+MobiCeal-public, so the busy-time deltas are pure stack overhead under
+realistic traffic:
+
+* thin provisioning costs a little over plain FDE;
+* MobiCeal adds the dummy-write + random-allocation overhead on top;
+* the logical traffic (ops, bytes, think-time) is identical everywhere.
+"""
+
+import pytest
+
+from repro.bench import observed_workloads, render_workloads
+
+SETTINGS = ("android", "a-t-p", "mc-p")
+PERSONALITY = "mixed_daily"
+OPS = 150
+USERDATA_BLOCKS = 8192  # 32 MiB simulated userdata
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def workloads_observed():
+    return observed_workloads(
+        settings=SETTINGS,
+        personality=PERSONALITY,
+        ops=OPS,
+        userdata_blocks=USERDATA_BLOCKS,
+        seed=SEED,
+    )
+
+
+def test_workload_mix_overhead(benchmark, workloads_observed,
+                               save_result, save_json):
+    """Replay one recorded daily-mix trace on every stack."""
+    rows, payload = workloads_observed
+    benchmark.pedantic(
+        lambda: observed_workloads(
+            settings=("android",), personality=PERSONALITY, ops=40,
+            userdata_blocks=USERDATA_BLOCKS, seed=SEED + 1,
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result("workload_mix", render_workloads(rows))
+    save_json("workloads", payload)
+    benchmark.extra_info["busy_s"] = {
+        r["setting"]: r["busy_s"] for r in rows
+    }
+
+    by_setting = {r["setting"]: r for r in rows}
+    android = by_setting["android"]
+    atp = by_setting["a-t-p"]
+    mcp = by_setting["mc-p"]
+
+    # identical logical traffic on every stack (the trace pins it)
+    assert atp["ops"] == android["ops"] == mcp["ops"]
+    assert atp["bytes_written"] == android["bytes_written"]
+    assert mcp["bytes_written"] == android["bytes_written"]
+
+    # the baseline row defines zero overhead
+    assert android["overhead"] == 0.0
+
+    # thin provisioning costs something; MobiCeal costs more (dummy
+    # writes + random allocation on top of the thin layer)
+    assert atp["busy_s"] > android["busy_s"]
+    assert mcp["busy_s"] > atp["busy_s"]
+    assert 0.0 < mcp["overhead"] < 2.0
+
+    # MobiCeal physically writes more than it is asked to (dummy blocks)
+    assert mcp["device_bytes_written"] > android["device_bytes_written"]
+
+
+def test_workload_mix_payload_telemetry(workloads_observed):
+    """The BENCH payload carries per-setting observability sections."""
+    _rows, payload = workloads_observed
+    assert payload["experiment"] == "workloads"
+    assert payload["schema_version"] == 1
+    assert set(payload["obs_per_setting"]) == set(SETTINGS)
+    mcp_obs = payload["obs_per_setting"]["mc-p"]
+    assert "pde.dummy_amplification" in mcp_obs["metrics"]["gauges"]
+    counters = mcp_obs["metrics"]["counters"]
+    assert counters["workload.ops.write"] > 0

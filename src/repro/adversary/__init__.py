@@ -19,6 +19,8 @@ from repro.adversary.game import (
     UnaccountableAllocationAdversary,
     best_advantage,
     make_pattern_pairs,
+    pattern_pairs_from_trace,
+    trace_pairs_factory,
 )
 from repro.adversary.harnesses import MobiCealHarness, MobiPlutoHarness
 from repro.adversary.metadata import (
@@ -47,6 +49,8 @@ __all__ = [
     "UnaccountableAllocationAdversary",
     "best_advantage",
     "make_pattern_pairs",
+    "pattern_pairs_from_trace",
+    "trace_pairs_factory",
     "MobiCealHarness",
     "MobiPlutoHarness",
     "extract_pool_metadata",

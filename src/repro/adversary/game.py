@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.adversary.metadata import (
     extract_pool_metadata,
@@ -61,6 +61,66 @@ def make_pattern_pairs(
         hidden_op = AccessOp("hidden", f"/secret/evidence_{i}.bin", hidden_bytes)
         pairs.append(((public_op,), (hidden_op, public_op)))
     return pairs
+
+
+def pattern_pairs_from_trace(
+    trace_ops: Sequence[object],
+    rounds: int,
+    hidden_bytes: int = 32 * 1024,
+) -> List[Tuple[AccessPattern, AccessPattern]]:
+    """Pattern pairs whose public cover traffic is a recorded workload.
+
+    Instead of the canonical synthetic cover (one public write per round),
+    slice a recorded workload trace (``repro.workload`` ``TraceOp`` list)
+    into *rounds* chunks and aggregate each chunk's write volume per path
+    into that round's public operations. The adversary then faces exactly
+    the app-shaped traffic the workload engine recorded — Zipf-popular
+    small synced appends, media bursts — rather than uniform blobs, which
+    is the realistic setting for the dummy-write defense.
+
+    The security model's restriction holds by construction: both patterns
+    of a pair share the identical public operations; world 1 prepends one
+    hidden write of *hidden_bytes*.
+    """
+    writes = [
+        op for op in trace_ops
+        if getattr(op, "op", None) == "write" and op.length > 0
+    ]
+    if not writes:
+        raise ValueError("trace contains no write operations")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    rounds = min(rounds, len(writes))
+    chunk = -(-len(writes) // rounds)
+    pairs: List[Tuple[AccessPattern, AccessPattern]] = []
+    for i in range(rounds):
+        per_path: dict = {}
+        for op in writes[i * chunk:(i + 1) * chunk]:
+            per_path[op.path] = per_path.get(op.path, 0) + op.length
+        public_ops = tuple(
+            AccessOp("public", path, nbytes)
+            for path, nbytes in sorted(per_path.items())
+        )
+        if not public_ops:
+            break
+        hidden_op = AccessOp(
+            "hidden", f"/secret/evidence_{i}.bin", hidden_bytes
+        )
+        pairs.append((public_ops, (hidden_op,) + public_ops))
+    return pairs
+
+
+def trace_pairs_factory(
+    trace_ops: Sequence[object], hidden_bytes: int = 32 * 1024
+) -> Callable[[int, Rng], List[Tuple[AccessPattern, AccessPattern]]]:
+    """A ``pairs_factory`` for :class:`MultiSnapshotGame` built on a trace."""
+
+    def factory(rounds: int, rng: Rng):
+        return pattern_pairs_from_trace(
+            trace_ops, rounds, hidden_bytes=hidden_bytes
+        )
+
+    return factory
 
 
 class GameHarness(ABC):
@@ -214,18 +274,25 @@ class MultiSnapshotGame:
         rounds: int = 4,
         inter_round_gap_s: float = 86400.0,
         seed: int = 0,
+        pairs_factory: Optional[
+            Callable[[int, Rng], List[Tuple[AccessPattern, AccessPattern]]]
+        ] = None,
     ) -> None:
         self._harness_factory = harness_factory
         self.rounds = rounds
         self.inter_round_gap_s = inter_round_gap_s
         self._rng = Rng(seed)
+        # how the adversary's pattern pairs are produced per game; defaults
+        # to the canonical synthetic pairs, or e.g. trace_pairs_factory()
+        # to play the game under recorded app-shaped cover traffic
+        self._pairs_factory = pairs_factory or make_pattern_pairs
 
     def play_one(self, adversary: Adversary, game_index: int) -> bool:
         """One full game; returns True when the adversary guessed b."""
         b = self._rng.randint(0, 1)
         harness = self._harness_factory(game_index)
         harness.setup()
-        pairs = make_pattern_pairs(self.rounds, self._rng.fork(f"patterns-{game_index}"))
+        pairs = self._pairs_factory(self.rounds, self._rng.fork(f"patterns-{game_index}"))
         snapshots: List[Snapshot] = [harness.snapshot("D0")]
         for i, (o0, o1) in enumerate(pairs):
             harness.execute(o1 if b == 1 else o0)

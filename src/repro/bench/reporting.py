@@ -56,6 +56,28 @@ def render_table1(rows: Sequence[OverheadRow]) -> str:
     return "Table I — overhead comparison\n" + render_table(headers, body)
 
 
+def render_workloads(rows: Sequence[Dict[str, object]]) -> str:
+    """Workload-mix replay: per-stack busy time and overhead vs baseline."""
+    headers = [
+        "setting", "ops", "MB written", "busy (s)", "MB/s", "overhead",
+    ]
+    body = [
+        [
+            str(r["setting"]),
+            str(r["ops"]),
+            f"{r['bytes_written'] / 1e6:,.1f}",
+            f"{r['busy_s']:,.3f}",
+            f"{r['write_mb_s']:,.2f}",
+            f"{100 * r['overhead']:+.2f}%",
+        ]
+        for r in rows
+    ]
+    return (
+        "Workload mix — trace replay overhead vs baseline\n"
+        + render_table(headers, body)
+    )
+
+
 def _fmt_timing(summary) -> str:
     if summary is None:
         return "N/A"

@@ -166,6 +166,82 @@ def observed_table2(
     return rows, payload
 
 
+def observed_workloads(
+    settings: Sequence[str] = ("android", "a-t-p", "mc-p"),
+    personality: str = "mixed_daily",
+    ops: int = 150,
+    userdata_blocks: int = 4096,
+    seed: int = 0,
+) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Workload-mix overhead: ``(rows, BENCH_workloads payload)``.
+
+    Records one *personality* trace, replays it on every stack in
+    *settings* (first entry is the overhead baseline, conventionally
+    ``android``), and reports per-setting busy time, throughput and
+    relative overhead. The replayed traffic is identical across stacks —
+    the trace pins the operations and think-times, and write payloads are
+    regenerated from the seed — so the busy-time deltas are pure stack
+    overhead under app-shaped traffic, the workload-level analogue of the
+    paper's Fig. 4 microbenchmarks.
+    """
+    from repro.workload import DeviceSpec, record_device, replay_on_setting
+
+    if not settings:
+        raise ValueError("need at least one setting")
+    _report, trace = record_device(
+        DeviceSpec(
+            setting=settings[0],
+            personality=personality,
+            ops=ops,
+            seed=seed,
+            userdata_blocks=userdata_blocks,
+        )
+    )
+    rows: List[Dict[str, object]] = []
+    obs_per_setting: Dict[str, object] = {}
+    for setting in settings:
+        result, obs_payload = replay_on_setting(
+            trace,
+            setting,
+            seed=seed,
+            userdata_blocks=userdata_blocks,
+            content_seed=seed,
+        )
+        rows.append(
+            {
+                "setting": setting,
+                "ops": result.ops,
+                "bytes_written": result.bytes_written,
+                "bytes_read": result.bytes_read,
+                "busy_s": result.busy_s,
+                "elapsed_s": result.elapsed_s,
+                "write_mb_s": result.write_mb_s,
+                "device_bytes_written": result.io.bytes_written,
+            }
+        )
+        obs_per_setting[setting] = obs_payload
+    baseline = rows[0]["busy_s"]
+    for row in rows:
+        row["overhead"] = (
+            row["busy_s"] / baseline - 1.0 if baseline > 0 else 0.0
+        )
+    payload = {
+        "schema_version": obs.SCHEMA_VERSION,
+        "experiment": "workloads",
+        "params": {
+            "settings": list(settings),
+            "personality": personality,
+            "ops": ops,
+            "userdata_blocks": userdata_blocks,
+            "seed": seed,
+            "trace_ops": len(trace),
+        },
+        "results": {"rows": rows},
+        "obs_per_setting": obs_per_setting,
+    }
+    return rows, payload
+
+
 def observed_crashsim(
     strides: Optional[Dict[str, int]] = None, seed: int = 0
 ) -> Tuple[Dict[str, object], Dict[str, object]]:

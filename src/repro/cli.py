@@ -5,20 +5,27 @@ Usage::
     python -m repro fig4 [--trials N]
     python -m repro table1
     python -m repro table2 [--trials N]
-    python -m repro game [--games N]
+    python -m repro game [--games N] [--workload-trace FILE]
     python -m repro sidechannel
     python -m repro crashsim [--scenario NAME] [--stride N]
+    python -m repro workload [--personality NAME] [--trace-out FILE]
+    python -m repro replay FILE [--setting NAME]
+    python -m repro fleet [--devices N] [--processes N]
     python -m repro trace
     python -m repro metrics
     python -m repro all
 
 Every command prints the paper-style table for its experiment, computed on
-the simulated stack. The bench commands (fig4, table1, table2, crashsim)
-additionally write a schema-versioned ``BENCH_<experiment>.json`` with the
-observability telemetry — per-phase span durations, latency percentiles
-and deniability gauges — into ``--json-dir`` (default: the current
-directory). ``trace`` and ``metrics`` run a small end-to-end PDE session
-under observation and print the span tree / metric tables. See
+the simulated stack, and writes a schema-versioned
+``BENCH_<experiment>.json`` with the observability telemetry — per-phase
+span durations, latency percentiles and deniability gauges — into
+``--json-dir`` (default: the current directory). ``trace`` and ``metrics``
+run a small end-to-end PDE session under observation and print the span
+tree / metric tables. The workload commands drive app-shaped traffic
+(``repro workload`` records a trace, ``repro replay`` re-drives one on any
+stack, ``repro fleet`` runs N simulated phones in parallel); see
+docs/workloads.md. Commands building small stacks directly share the
+``--userdata-mib`` flag for the simulated userdata partition size. See
 EXPERIMENTS.md for the paper-vs-measured record and docs/observability.md
 for the telemetry guide.
 """
@@ -36,6 +43,7 @@ from repro.adversary import (
     MultiSnapshotGame,
     best_advantage,
     side_channel_attack,
+    trace_pairs_factory,
 )
 from repro.android import Phone
 from repro.bench import (
@@ -43,12 +51,29 @@ from repro.bench import (
     observed_fig4,
     observed_table1,
     observed_table2,
+    observed_workloads,
     render_fig4,
     render_table,
     render_table1,
     render_table2,
+    render_workloads,
 )
 from repro.core import MobiCealConfig, MobiCealSystem
+
+#: Block size shared by every simulated device profile (4 KiB).
+_BLOCK_SIZE = 4096
+
+#: Default simulated userdata partition size for the small-stack commands
+#: (sidechannel, trace, metrics, workload, replay, fleet): 16 MiB = 4096
+#: blocks, the size the deniability probes and tests standardize on.
+DEFAULT_USERDATA_MIB = 16
+
+
+def _userdata_blocks(args: argparse.Namespace) -> int:
+    mib = getattr(args, "userdata_mib", DEFAULT_USERDATA_MIB)
+    if mib < 4:
+        raise SystemExit("repro: error: --userdata-mib must be >= 4")
+    return mib * 1024 * 1024 // _BLOCK_SIZE
 
 
 def _write_json(args: argparse.Namespace, experiment: str, payload) -> None:
@@ -83,16 +108,34 @@ def _cmd_table2(args: argparse.Namespace) -> None:
 
 def _cmd_game(args: argparse.Namespace) -> None:
     thresholds = (0.5, 2, 5, 10, 20, 40)
+    pairs_factory = None
+    workload_trace = getattr(args, "workload_trace", None)
+    if workload_trace:
+        from repro.workload import load_trace
+
+        _header, trace_ops = load_trace(workload_trace)
+        pairs_factory = trace_pairs_factory(trace_ops)
+        print(f"[cover traffic: {len(trace_ops)}-op recorded workload trace]")
     rows = []
-    for name, factory in (
-        ("MobiCeal", lambda i: MobiCealHarness(seed=1000 + i)),
-        ("MobiPluto", lambda i: MobiPlutoHarness(seed=2000 + i)),
-    ):
-        game = MultiSnapshotGame(factory, rounds=args.rounds, seed=args.seed)
-        thresh, adv = best_advantage(
-            game, thresholds, games_per_threshold=args.games
-        )
-        rows.append([name, f"{thresh:g} blocks/round", f"{adv:.3f}"])
+    serialized = []
+    with obs.observe() as recorder:
+        for name, factory in (
+            ("MobiCeal", lambda i: MobiCealHarness(seed=1000 + i)),
+            ("MobiPluto", lambda i: MobiPlutoHarness(seed=2000 + i)),
+        ):
+            game = MultiSnapshotGame(
+                factory,
+                rounds=args.rounds,
+                seed=args.seed,
+                pairs_factory=pairs_factory,
+            )
+            thresh, adv = best_advantage(
+                game, thresholds, games_per_threshold=args.games
+            )
+            rows.append([name, f"{thresh:g} blocks/round", f"{adv:.3f}"])
+            serialized.append(
+                {"system": name, "best_threshold": thresh, "advantage": adv}
+            )
     print("Multi-snapshot game — best threshold-adversary advantage")
     print(render_table(["system", "best threshold", "advantage"], rows))
     if args.games < 10:
@@ -100,41 +143,82 @@ def _cmd_game(args: argparse.Namespace) -> None:
             f"(note: only {args.games} games per threshold — the empirical "
             "advantage is noisy at this sample size; use --games 20+)"
         )
+    payload = obs.bench_payload(
+        "game",
+        {"rows": serialized},
+        recorder,
+        extra={
+            "params": {
+                "games": args.games,
+                "rounds": args.rounds,
+                "seed": args.seed,
+                "thresholds": list(thresholds),
+                "workload_trace": bool(workload_trace),
+            }
+        },
+    )
+    _write_json(args, "game", payload)
 
 
 def _cmd_sidechannel(args: argparse.Namespace) -> None:
     rows = []
+    serialized = []
     scenarios = (
         ("MobiCeal", True, True),
         ("no-isolation strawman", False, True),
         ("two-way-switch strawman", True, False),
     )
-    for name, isolate, one_way in scenarios:
-        phone = Phone(seed=args.seed, userdata_blocks=4096)
-        system = MobiCealSystem(
-            phone,
-            MobiCealConfig(
-                num_volumes=4,
-                isolate_side_channels=isolate,
-                one_way_switching=one_way,
-            ),
-        )
-        phone.framework.power_on()
-        system.initialize("decoy", hidden_passwords=("hidden",))
-        system.boot_with_password("decoy")
-        system.start_framework()
-        system.screenlock.enter_password("hidden")
-        system.store_file("/secret/list.txt", b"sensitive")
-        if one_way:
-            system.reboot()
+    with obs.observe() as recorder:
+        for name, isolate, one_way in scenarios:
+            phone = Phone(
+                seed=args.seed, userdata_blocks=_userdata_blocks(args)
+            )
+            system = MobiCealSystem(
+                phone,
+                MobiCealConfig(
+                    num_volumes=4,
+                    isolate_side_channels=isolate,
+                    one_way_switching=one_way,
+                ),
+            )
+            phone.framework.power_on()
+            system.initialize("decoy", hidden_passwords=("hidden",))
             system.boot_with_password("decoy")
             system.start_framework()
-        else:
-            system.switch_to_public_unsafe("decoy")
-        report = side_channel_attack(phone, ["/secret/list.txt"])
-        rows.append([name, report.describe()[:80]])
+            system.screenlock.enter_password("hidden")
+            system.store_file("/secret/list.txt", b"sensitive")
+            if one_way:
+                system.reboot()
+                system.boot_with_password("decoy")
+                system.start_framework()
+            else:
+                system.switch_to_public_unsafe("decoy")
+            report = side_channel_attack(phone, ["/secret/list.txt"])
+            rows.append([name, report.describe()[:80]])
+            serialized.append(
+                {
+                    "system": name,
+                    "isolate_side_channels": isolate,
+                    "one_way_switching": one_way,
+                    "on_disk_leak": report.on_disk_leak,
+                    "ram_leak": bool(report.ram_hits),
+                    "verdict": report.describe(),
+                }
+            )
     print("Side-channel attack results")
     print(render_table(["system", "verdict"], rows))
+    payload = obs.bench_payload(
+        "sidechannel",
+        {"rows": serialized},
+        recorder,
+        extra={
+            "params": {
+                "seed": args.seed,
+                "userdata_blocks": _userdata_blocks(args),
+            }
+        },
+    )
+    _write_json(args, "sidechannel", payload)
 
 
 def _cmd_crashsim(args: argparse.Namespace) -> None:
@@ -205,7 +289,9 @@ def _cmd_crashsim(args: argparse.Namespace) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _observed_session(seed: int) -> obs.Recorder:
+def _observed_session(
+    seed: int, userdata_blocks: int = 4096
+) -> obs.Recorder:
     """A small end-to-end PDE session under observation.
 
     Initialize, boot public, write files, fast-switch to the hidden mode,
@@ -213,7 +299,7 @@ def _observed_session(seed: int) -> obs.Recorder:
     layer so the resulting span tree and metric tables are representative.
     """
     with obs.observe() as recorder:
-        phone = Phone(seed=seed, userdata_blocks=4096)
+        phone = Phone(seed=seed, userdata_blocks=userdata_blocks)
         system = MobiCealSystem(phone, MobiCealConfig(num_volumes=4))
         phone.framework.power_on()
         system.initialize("decoy", hidden_passwords=("hidden",))
@@ -235,7 +321,7 @@ def _observed_session(seed: int) -> obs.Recorder:
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
-    recorder = _observed_session(args.seed)
+    recorder = _observed_session(args.seed, _userdata_blocks(args))
     print("Span tree (simulated time)")
     print(obs.render_span_tree(recorder, max_children=args.max_children))
     print()
@@ -244,8 +330,121 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> None:
-    recorder = _observed_session(args.seed)
+    recorder = _observed_session(args.seed, _userdata_blocks(args))
     print(obs.render_metrics(recorder))
+
+
+# ---------------------------------------------------------------------------
+# Workload commands: workload / replay / fleet
+# ---------------------------------------------------------------------------
+
+
+def _render_workload_result(result_dict) -> str:
+    headers = ["ops", "MB written", "MB read", "syncs", "busy (s)", "MB/s"]
+    row = [
+        str(result_dict["ops"]),
+        f"{result_dict['bytes_written'] / 1e6:,.1f}",
+        f"{result_dict['bytes_read'] / 1e6:,.1f}",
+        str(result_dict["syncs"]),
+        f"{result_dict['busy_s']:,.3f}",
+        f"{result_dict['write_mb_s']:,.2f}",
+    ]
+    return render_table(headers, [row])
+
+
+def _cmd_workload(args: argparse.Namespace) -> None:
+    from repro.workload import DeviceSpec, record_device, save_trace
+
+    spec = DeviceSpec(
+        setting=args.setting,
+        personality=args.personality,
+        ops=args.ops,
+        seed=args.seed,
+        userdata_blocks=_userdata_blocks(args),
+    )
+    report, trace = record_device(spec)
+    print(
+        f"Workload {args.personality!r} on {args.setting} "
+        f"({args.ops} ops, seed {args.seed})"
+    )
+    print(_render_workload_result(report["result"]))
+    if args.trace_out:
+        path = save_trace(
+            args.trace_out,
+            trace,
+            personality=args.personality,
+            setting=args.setting,
+            ops=args.ops,
+            seed=args.seed,
+        )
+        print(f"[trace: {path}]")
+    payload = dict(report)
+    payload["schema_version"] = obs.SCHEMA_VERSION
+    payload["experiment"] = "workload"
+    _write_json(args, "workload", payload)
+
+
+def _cmd_replay(args: argparse.Namespace) -> None:
+    from repro.workload import load_trace, replay_on_setting
+
+    header, trace_ops = load_trace(args.trace_file)
+    content_seed = args.content_seed
+    if content_seed is None:
+        content_seed = header.get("seed", args.seed)
+    result, obs_payload = replay_on_setting(
+        trace_ops,
+        args.setting,
+        seed=args.seed,
+        userdata_blocks=_userdata_blocks(args),
+        content_seed=content_seed,
+    )
+    print(
+        f"Replayed {len(trace_ops)}-op trace "
+        f"({header.get('personality', 'unknown')}) on {args.setting}"
+    )
+    print(_render_workload_result(result.as_dict()))
+    payload = {
+        "schema_version": obs.SCHEMA_VERSION,
+        "experiment": "replay",
+        "params": {
+            "trace": str(args.trace_file),
+            "setting": args.setting,
+            "seed": args.seed,
+            "content_seed": content_seed,
+            "trace_ops": len(trace_ops),
+        },
+        "result": result.as_dict(),
+        "obs": obs_payload,
+    }
+    _write_json(args, "replay", payload)
+
+
+def _cmd_workloads_bench(args: argparse.Namespace) -> None:
+    rows, payload = observed_workloads(
+        personality=args.personality,
+        ops=args.ops,
+        userdata_blocks=_userdata_blocks(args),
+        seed=args.seed,
+    )
+    print(render_workloads(rows))
+    _write_json(args, "workloads", payload)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    from repro.workload import FleetSpec, render_fleet_report, run_fleet
+
+    fleet = FleetSpec(
+        devices=args.devices,
+        setting=args.setting,
+        personality=args.personality,
+        ops=args.ops,
+        base_seed=args.seed,
+        userdata_blocks=_userdata_blocks(args),
+        processes=args.processes,
+    )
+    payload = run_fleet(fleet)
+    print(render_fleet_report(payload))
+    _write_json(args, "fleet", payload)
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -260,6 +459,29 @@ def _add_json_dir(p: argparse.ArgumentParser) -> None:
         "--json-dir", default=".",
         help="directory for the BENCH_<experiment>.json telemetry file",
     )
+
+
+def _add_userdata_mib(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--userdata-mib", type=int, default=DEFAULT_USERDATA_MIB,
+        help="simulated userdata partition size in MiB "
+        f"(default {DEFAULT_USERDATA_MIB})",
+    )
+
+
+def _add_workload_params(p: argparse.ArgumentParser) -> None:
+    from repro.workload import PERSONALITIES
+    from repro.bench.stacks import FIG4_SETTINGS
+
+    p.add_argument(
+        "--personality", choices=sorted(PERSONALITIES),
+        default="mixed_daily", help="app traffic personality",
+    )
+    p.add_argument(
+        "--setting", choices=list(FIG4_SETTINGS), default="mc-p",
+        help="storage stack to run against",
+    )
+    p.add_argument("--ops", type=int, default=150, help="operations to run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -290,9 +512,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("game", help="multi-snapshot security game")
     p.add_argument("--games", type=int, default=12)
     p.add_argument("--rounds", type=int, default=3)
+    p.add_argument(
+        "--workload-trace", default=None, metavar="FILE",
+        help="recorded workload trace to use as the game's public cover "
+        "traffic (default: the canonical synthetic patterns)",
+    )
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_game)
 
     p = sub.add_parser("sidechannel", help="the Czeskis side-channel attack")
+    _add_userdata_mib(p)
+    _add_json_dir(p)
     p.set_defaults(func=_cmd_sidechannel)
 
     p = sub.add_parser(
@@ -315,17 +545,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_crashsim)
 
     p = sub.add_parser(
+        "workload", help="record one app-personality workload run"
+    )
+    _add_workload_params(p)
+    p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="save the recorded trace (JSONL) to FILE",
+    )
+    _add_userdata_mib(p)
+    _add_json_dir(p)
+    p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser(
+        "replay", help="re-drive a recorded workload trace on any stack"
+    )
+    p.add_argument("trace_file", metavar="FILE", help="trace to replay")
+    p.add_argument(
+        "--setting", default="mc-p",
+        help="storage stack to replay against",
+    )
+    p.add_argument(
+        "--content-seed", type=int, default=None,
+        help="payload regeneration seed (default: the trace header's seed)",
+    )
+    _add_userdata_mib(p)
+    _add_json_dir(p)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "workloads",
+        help="workload-mix overhead: replay one trace across stacks",
+    )
+    p.add_argument(
+        "--personality", default="mixed_daily",
+        help="app traffic personality to record",
+    )
+    p.add_argument("--ops", type=int, default=150)
+    _add_userdata_mib(p)
+    _add_json_dir(p)
+    p.set_defaults(func=_cmd_workloads_bench)
+
+    p = sub.add_parser(
+        "fleet", help="run N simulated phones across a process pool"
+    )
+    p.add_argument("--devices", type=int, default=4)
+    _add_workload_params(p)
+    p.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: min(devices, cores); 1 = serial)",
+    )
+    _add_userdata_mib(p)
+    _add_json_dir(p)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
         "trace", help="span tree of an observed end-to-end PDE session"
     )
     p.add_argument(
         "--max-children", type=int, default=12,
         help="children shown per span before folding",
     )
+    _add_userdata_mib(p)
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "metrics", help="counters/gauges/histograms of an observed session"
     )
+    _add_userdata_mib(p)
     p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("all", help="run every experiment")
@@ -333,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file-mib", type=int, default=2)
     p.add_argument("--games", type=int, default=8)
     p.add_argument("--rounds", type=int, default=3)
+    _add_userdata_mib(p)
     _add_json_dir(p)
     p.set_defaults(func=_cmd_all)
 

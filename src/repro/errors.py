@@ -216,3 +216,16 @@ class DeniabilityError(PDEError):
 
 class ConfigError(PDEError):
     """A configuration value was out of its legal range."""
+
+
+# ---------------------------------------------------------------------------
+# Workload engine
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Base class for workload-engine failures."""
+
+
+class TraceFormatError(WorkloadError):
+    """A recorded workload trace was malformed or has the wrong version."""

@@ -51,6 +51,7 @@ from repro.obs.export import (
     SCHEMA_VERSION,
     bench_payload,
     dump_json,
+    merge_recorder_payloads,
     recorder_payload,
     render_metrics,
     render_span_aggregates,
@@ -82,6 +83,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "bench_payload",
     "dump_json",
+    "merge_recorder_payloads",
     "recorder_payload",
     "render_metrics",
     "render_span_aggregates",

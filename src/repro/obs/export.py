@@ -14,6 +14,7 @@ fail on uncommitted drift in ``benchmarks/results/``).
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Dict, List, Optional, Sequence
 
@@ -70,6 +71,124 @@ def bench_payload(
     if extra:
         payload.update(extra)
     return payload
+
+
+def _merge_histograms(
+    histograms: List[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge serialized histogram dicts (summed buckets, recomputed stats).
+
+    Percentiles are re-estimated from the merged labeled buckets with the
+    same interpolation :class:`~repro.obs.metrics.Histogram` uses, clamped
+    to the merged min/max (the ``inf`` overflow bucket clamps to the max).
+    """
+    count = sum(int(h["count"]) for h in histograms)
+    if count == 0:
+        return {
+            "count": 0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0,
+            "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "buckets": {},
+        }
+    total = sum(float(h["mean_s"]) * int(h["count"]) for h in histograms)
+    minimum = min(float(h["min_s"]) for h in histograms if int(h["count"]))
+    maximum = max(float(h["max_s"]) for h in histograms if int(h["count"]))
+    buckets: Dict[str, int] = {}
+    for h in histograms:
+        for label, n in h.get("buckets", {}).items():
+            buckets[label] = buckets.get(label, 0) + int(n)
+
+    def bound(label: str) -> float:
+        return math.inf if label == "inf" else float(label)
+
+    ordered = sorted(buckets.items(), key=lambda item: bound(item[0]))
+
+    def percentile(q: float) -> float:
+        target = q * count
+        cumulative = 0
+        previous_bound = minimum
+        for label, n in ordered:
+            cumulative += n
+            hi = min(bound(label), maximum)
+            if cumulative >= target:
+                fraction = (target - (cumulative - n)) / n
+                value = previous_bound + fraction * (hi - previous_bound)
+                return min(max(value, minimum), maximum)
+            previous_bound = hi
+        return maximum  # pragma: no cover - cumulative always reaches
+
+    return {
+        "count": count,
+        "mean_s": total / count,
+        "min_s": minimum,
+        "max_s": maximum,
+        "p50_s": percentile(0.50),
+        "p95_s": percentile(0.95),
+        "p99_s": percentile(0.99),
+        "buckets": {label: n for label, n in ordered},
+    }
+
+
+def merge_recorder_payloads(
+    payloads: Sequence[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge per-device :func:`recorder_payload` dicts into one aggregate.
+
+    This is how the fleet runner folds N independent observations into a
+    single report: counters, marks, I/O tallies and span counts/totals are
+    summed; span/histogram means are recomputed from the merged sums;
+    histogram percentiles are re-estimated from the merged buckets; gauges
+    (point-in-time values such as bitmap occupancy) are averaged across
+    the devices that reported them, with per-device values preserved in
+    ``gauges_per_device``.
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    marks: Dict[str, int] = {}
+    counters: Dict[str, float] = {}
+    gauge_values: Dict[str, List[float]] = {}
+    histogram_parts: Dict[str, List[Dict[str, object]]] = {}
+    io_events = 0
+    io_by_op: Dict[str, int] = {}
+    for payload in payloads:
+        for name, agg in payload.get("spans", {}).items():
+            out = spans.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            out["count"] += agg["count"]
+            out["total_s"] += agg["total_s"]
+            out["max_s"] = max(out["max_s"], agg["max_s"])
+        for name, hits in payload.get("marks", {}).items():
+            marks[name] = marks.get(name, 0) + hits
+        metrics = payload.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in metrics.get("gauges", {}).items():
+            gauge_values.setdefault(name, []).append(value)
+        for name, hist in metrics.get("histograms", {}).items():
+            histogram_parts.setdefault(name, []).append(hist)
+        io = payload.get("io", {})
+        io_events += io.get("events", 0)
+        for op, n in io.get("by_op", {}).items():
+            io_by_op[op] = io_by_op.get(op, 0) + n
+    for agg in spans.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "merged_from": len(payloads),
+        "spans": spans,
+        "marks": marks,
+        "metrics": {
+            "counters": dict(sorted(counters.items())),
+            "gauges": {
+                name: sum(values) / len(values)
+                for name, values in sorted(gauge_values.items())
+            },
+            "gauges_per_device": dict(sorted(gauge_values.items())),
+            "histograms": {
+                name: _merge_histograms(parts)
+                for name, parts in sorted(histogram_parts.items())
+            },
+        },
+        "io": {"events": io_events, "by_op": io_by_op},
+    }
 
 
 def dump_json(payload: Dict[str, object]) -> str:

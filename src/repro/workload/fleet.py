@@ -1,0 +1,184 @@
+"""Fleet runner: N independent simulated phones across a process pool.
+
+The first scale-out axis of the reproduction: every device of a
+:class:`FleetSpec` is an independent simulated phone (its own seed, clock,
+stack and personality run), so the fleet is embarrassingly parallel and is
+executed across a :mod:`multiprocessing` pool. Per-device reports — the
+same dicts :func:`~repro.workload.runner.run_device` returns standalone —
+are merged into one aggregate payload whose observability section is the
+metric-level merge of every device's recorder
+(:func:`repro.obs.export.merge_recorder_payloads`).
+
+Determinism contract: device *i* runs at seed ``base_seed + i`` and its
+section of the merged report is identical to ``run_device()`` at that
+seed, whether the fleet ran serially or across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.obs.export import SCHEMA_VERSION, merge_recorder_payloads
+from repro.workload.runner import (
+    DEFAULT_USERDATA_BLOCKS,
+    DeviceSpec,
+    run_device,
+)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet of identical devices differing only in their seeds."""
+
+    devices: int = 2
+    setting: str = "mc-p"
+    personality: str = "mixed_daily"
+    ops: int = 120
+    base_seed: int = 0
+    userdata_blocks: int = DEFAULT_USERDATA_BLOCKS
+    #: worker processes; None = min(devices, CPU count), 1 = run serially
+    processes: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.devices <= 0:
+            raise WorkloadError(
+                f"fleet needs at least one device, got {self.devices}"
+            )
+        if self.processes is not None and self.processes <= 0:
+            raise WorkloadError(
+                f"processes must be positive, got {self.processes}"
+            )
+        device_specs(self)[0].validate()
+
+
+def device_specs(fleet: FleetSpec) -> List[DeviceSpec]:
+    """The per-device specs of a fleet (device i at seed base_seed + i)."""
+    return [
+        DeviceSpec(
+            index=i,
+            setting=fleet.setting,
+            personality=fleet.personality,
+            ops=fleet.ops,
+            seed=fleet.base_seed + i,
+            userdata_blocks=fleet.userdata_blocks,
+        )
+        for i in range(fleet.devices)
+    ]
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_fleet(fleet: FleetSpec) -> Dict[str, object]:
+    """Execute every device of *fleet* and merge the reports.
+
+    Devices run across a process pool (``fleet.processes`` workers; pass 1
+    to force the serial path — results are identical either way). The
+    returned payload carries the ordered per-device reports, fleet-level
+    totals, and the merged observability section.
+    """
+    fleet.validate()
+    specs = device_specs(fleet)
+    processes = fleet.processes
+    if processes is None:
+        processes = min(len(specs), os.cpu_count() or 1)
+    if processes <= 1 or len(specs) == 1:
+        reports = [run_device(spec) for spec in specs]
+    else:
+        try:
+            with _pool_context().Pool(processes=processes) as pool:
+                reports = pool.map(run_device, specs)
+        except (OSError, PermissionError):
+            # sandboxed environments may forbid forking worker processes;
+            # the serial path produces the identical merged report
+            reports = [run_device(spec) for spec in specs]
+    return merge_reports(fleet, reports)
+
+
+def merge_reports(
+    fleet: FleetSpec, reports: List[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge ordered per-device reports into the aggregate fleet payload."""
+    totals = {
+        "ops": 0,
+        "bytes_written": 0,
+        "bytes_read": 0,
+        "syncs": 0,
+        "device_writes": 0,
+        "device_bytes_written": 0,
+        "elapsed_s_max": 0.0,
+        "busy_s_total": 0.0,
+        "write_mb_s_sum": 0.0,
+    }
+    for report in reports:
+        result = report["result"]
+        totals["ops"] += result["ops"]
+        totals["bytes_written"] += result["bytes_written"]
+        totals["bytes_read"] += result["bytes_read"]
+        totals["syncs"] += result["syncs"]
+        totals["device_writes"] += result["io"]["writes"]
+        totals["device_bytes_written"] += result["io"]["bytes_written"]
+        totals["elapsed_s_max"] = max(
+            totals["elapsed_s_max"], result["elapsed_s"]
+        )
+        totals["busy_s_total"] += result["busy_s"]
+        totals["write_mb_s_sum"] += result["write_mb_s"]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": "fleet",
+        "params": dataclasses.asdict(fleet),
+        "devices": reports,
+        "totals": totals,
+        "obs_merged": merge_recorder_payloads(
+            [report["obs"] for report in reports]
+        ),
+    }
+
+
+def render_fleet_report(payload: Dict[str, object]) -> str:
+    """Human-readable fleet summary (one row per device plus totals)."""
+    from repro.bench.reporting import render_table
+
+    rows = []
+    for report in payload["devices"]:
+        result = report["result"]
+        spec = report["spec"]
+        rows.append(
+            [
+                str(report["device"]),
+                str(spec["seed"]),
+                str(result["ops"]),
+                f"{result['bytes_written'] / 1e6:.1f}",
+                f"{result['elapsed_s']:.1f}",
+                f"{result['write_mb_s']:.2f}",
+            ]
+        )
+    totals = payload["totals"]
+    rows.append(
+        [
+            "all",
+            "-",
+            str(totals["ops"]),
+            f"{totals['bytes_written'] / 1e6:.1f}",
+            f"{totals['elapsed_s_max']:.1f}",
+            f"{totals['write_mb_s_sum']:.2f}",
+        ]
+    )
+    params = payload["params"]
+    title = (
+        f"Fleet: {params['devices']} x {params['setting']} running "
+        f"{params['personality']} ({params['ops']} ops/device)"
+    )
+    table = render_table(
+        ["device", "seed", "ops", "MB written", "elapsed s", "MB/s"], rows
+    )
+    return title + "\n" + table

@@ -1,0 +1,271 @@
+"""App personalities: declarative generators of realistic Android I/O.
+
+Each personality models one recognizable class of mobile traffic as a pure
+function of ``(ctx)`` — all randomness comes from ``ctx.rng``, all timing
+from explicit :meth:`~repro.workload.engine.WorkloadContext.think` calls,
+so runs are deterministic per seed and portable across stacks. Sizes are
+scaled for the small simulated phones the experiments use (tens of MiB of
+userdata), preserving each workload's *shape* — sync frequency, write
+granularity, burstiness — rather than absolute volumes.
+
+Why this matters for PDE: the multiple-snapshot and access-distribution
+attacks in the literature train on realistic app write patterns, so
+MobiCeal's dummy-write defense has to be evaluated under app-shaped
+traffic, not just sequential dd. These personalities (and the
+``mixed_daily`` composite with Zipf file popularity and bursty arrivals)
+are that traffic source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.workload.engine import WorkloadContext, ZipfSampler
+from repro.workload.trace import APPEND
+
+#: Registry of personality name -> generator function ``fn(ctx, ops)``.
+PERSONALITIES: Dict[str, Callable[[WorkloadContext, int], None]] = {}
+
+
+def personality(name: str):
+    """Register a personality generator under *name*."""
+
+    def register(fn: Callable[[WorkloadContext, int], None]):
+        PERSONALITIES[name] = fn
+        return fn
+
+    return register
+
+
+KIB = 1024
+
+
+# ---------------------------------------------------------------------------
+# Single-app personalities
+# ---------------------------------------------------------------------------
+
+
+@personality("sqlite_wal")
+def sqlite_wal(ctx: WorkloadContext, ops: int) -> None:
+    """SQLite in WAL mode: small synced journal churn plus checkpoints.
+
+    Every commit appends a handful of 4 KiB frames to the ``-wal`` file and
+    fsyncs; every ~16 commits a checkpoint reads the WAL back, rewrites the
+    database pages in place and truncates the WAL — the dominant I/O shape
+    of most Android apps.
+    """
+    db = "/data/data/com.example.app/databases/app.db"
+    wal = db + "-wal"
+    ctx.write(db, 32 * KIB, sync=True)  # freshly created database
+    commits = 0
+    while ctx.ops < ops:
+        frames = ctx.rng.randint(1, 4)
+        ctx.write(wal, frames * 4 * KIB, offset=APPEND, sync=True)
+        commits += 1
+        ctx.think(ctx.rng.exponential(0.5))
+        if commits % 16 == 0 and ctx.ops < ops:
+            ctx.read(wal)
+            pages = ctx.rng.randint(4, 12)
+            ctx.write(db, pages * 4 * KIB, offset=0, sync=True)
+            ctx.unlink(wal)
+
+
+@personality("camera_burst")
+def camera_burst(ctx: WorkloadContext, ops: int) -> None:
+    """Camera bursts: large sequential media files, long idle gaps.
+
+    Shoots bursts of 3–8 photos (256 KiB – 1 MiB each, one fsync per
+    burst), occasionally deletes older shots, and idles between bursts.
+    A bounded working set keeps the small simulated partitions from
+    filling.
+    """
+    shot = 0
+    keep = 10
+
+    def photo(i: int) -> str:
+        return f"/DCIM/Camera/IMG_{i:05d}.jpg"
+
+    ctx.mkdir("/DCIM/Camera")
+    while ctx.ops < ops:
+        burst = ctx.rng.randint(3, 8)
+        for _ in range(burst):
+            if ctx.ops >= ops:
+                break
+            size = ctx.rng.randint(256, 1024) * KIB
+            ctx.write(photo(shot), size)
+            shot += 1
+            if shot > keep:
+                ctx.unlink(photo(shot - keep - 1))
+        ctx.fsync("/DCIM/Camera")
+        if shot > 2 and ctx.rng.random() < 0.25:
+            ctx.read(photo(shot - 1))  # review the last shot
+        ctx.think(5.0 + ctx.rng.exponential(0.2))
+
+
+@personality("app_install")
+def app_install(ctx: WorkloadContext, ops: int) -> None:
+    """Package installs: bulk APK + native libs, rename into place, fsync.
+
+    The package manager streams the APK to a staging directory, extracts a
+    few native libraries, atomically renames the staging directory's files
+    into the app directory and fsyncs — bulk writes punctuated by renames.
+    """
+    install = 0
+    lib_counts: Dict[int, int] = {}
+    while ctx.ops < ops:
+        app = f"com.vendor.app{install}"
+        staging = f"/data/app/vmdl{install}.tmp"
+        final = f"/data/app/{app}-1"
+        apk_size = ctx.rng.randint(512, 1536) * KIB
+        ctx.write(f"{staging}/base.apk", apk_size)
+        libs = ctx.rng.randint(1, 3)
+        for lib in range(libs):
+            if ctx.ops >= ops:
+                break
+            ctx.write(f"{staging}/lib/libnative{lib}.so",
+                      ctx.rng.randint(64, 256) * KIB)
+        ctx.fsync(staging)
+        ctx.rename(f"{staging}/base.apk", f"{final}/base.apk")
+        for lib in range(libs):
+            ctx.rename(f"{staging}/lib/libnative{lib}.so",
+                       f"{final}/lib/libnative{lib}.so")
+        ctx.fsync(final)
+        # dexopt output, then first-run data
+        ctx.write(f"/data/dalvik-cache/{app}.vdex",
+                  ctx.rng.randint(128, 512) * KIB, sync=True)
+        lib_counts[install] = libs
+        if install >= 2:
+            # uninstall an older app to bound the working set
+            old = install - 2
+            ctx.unlink(f"/data/app/com.vendor.app{old}-1/base.apk")
+            for lib in range(lib_counts.pop(old, 0)):
+                ctx.unlink(
+                    f"/data/app/com.vendor.app{old}-1/lib/libnative{lib}.so"
+                )
+            ctx.unlink(f"/data/dalvik-cache/com.vendor.app{old}.vdex")
+        install += 1
+        ctx.think(ctx.rng.exponential(0.1))
+
+
+@personality("ota_update")
+def ota_update(ctx: WorkloadContext, ops: int) -> None:
+    """OTA updates: download, verify by reading back, rename, fsync.
+
+    A large sequential package download in chunks, a full read-back for
+    signature verification, an atomic rename into the install location and
+    a final fsync — the heaviest sequential pattern a phone produces.
+    """
+    cycle = 0
+    while ctx.ops < ops:
+        tmp = f"/cache/ota/update-{cycle}.zip.part"
+        final = f"/cache/ota/update-{cycle}.zip"
+        chunks = ctx.rng.randint(4, 8)
+        for _ in range(chunks):
+            if ctx.ops >= ops:
+                break
+            ctx.write(tmp, 512 * KIB, offset=APPEND)
+        ctx.fsync(tmp)
+        ctx.read(tmp)  # signature verification pass
+        ctx.rename(tmp, final)
+        ctx.fsync(final)
+        if cycle >= 1:
+            ctx.unlink(f"/cache/ota/update-{cycle - 1}.zip")
+        cycle += 1
+        ctx.think(30.0 + ctx.rng.exponential(0.05))
+
+
+@personality("messaging")
+def messaging(ctx: WorkloadContext, ops: int) -> None:
+    """Messaging: fsync-heavy small appends with conversation bursts.
+
+    Every message is a few hundred bytes appended to the message store and
+    fsynced immediately (the durability contract messengers keep).
+    Messages arrive in short bursts with sub-second gaps separated by long
+    idle periods; one in eight messages carries a 32–128 KiB attachment.
+    """
+    store = "/data/data/com.example.msgr/databases/messages.db"
+    attachment = 0
+    ctx.write(store, 16 * KIB, sync=True)
+    while ctx.ops < ops:
+        burst = ctx.rng.randint(2, 10)
+        for _ in range(burst):
+            if ctx.ops >= ops:
+                break
+            ctx.write(store, ctx.rng.randint(256, 2048), offset=APPEND,
+                      sync=True)
+            if ctx.rng.random() < 0.125:
+                ctx.write(
+                    f"/data/media/msgr/att_{attachment:04d}.bin",
+                    ctx.rng.randint(32, 128) * KIB,
+                )
+                attachment += 1
+            ctx.think(ctx.rng.exponential(2.0))
+        ctx.think(60.0 + ctx.rng.exponential(1.0 / 120.0))
+
+
+# ---------------------------------------------------------------------------
+# The composite daily mix
+# ---------------------------------------------------------------------------
+
+#: Zipf-ranked population of per-app database files the mix writes into.
+_MIX_APPS = 24
+
+#: Step weights of the daily mix (cumulative probabilities).
+_MIX_MESSAGING = 0.35
+_MIX_SQLITE = 0.60
+_MIX_READ = 0.75
+_MIX_MEDIA = 0.92  # remainder: app install/cleanup
+
+
+@personality("mixed_daily")
+def mixed_daily(ctx: WorkloadContext, ops: int) -> None:
+    """A day of phone use: composite traffic with Zipf file popularity.
+
+    Interleaves messaging appends, SQLite commits, media writes, reads and
+    occasional installs. Which app's files are touched follows a Zipf
+    distribution over a ranked population (a few hot apps get most of the
+    traffic); inter-arrival times are bursty — exponential sub-second gaps
+    within an activity burst, occasional minutes-long idles between them.
+    """
+    zipf = ZipfSampler(_MIX_APPS, s=1.2)
+    shot = 0
+    install = 0
+
+    def db_path(rank: int) -> str:
+        return f"/data/data/com.app{rank:02d}/databases/main.db"
+
+    while ctx.ops < ops:
+        rank = zipf.sample(ctx.rng)
+        db = db_path(rank)
+        r = ctx.rng.random()
+        if r < _MIX_MESSAGING:
+            # a synced message-sized append to a hot app's store
+            ctx.write(db, ctx.rng.randint(256, 4096), offset=APPEND,
+                      sync=True)
+        elif r < _MIX_SQLITE:
+            # a WAL-style commit: a few synced 4 KiB frames
+            ctx.write(db + "-wal", ctx.rng.randint(1, 4) * 4 * KIB,
+                      offset=APPEND, sync=True)
+            if ctx.rng.random() < 0.1 and ctx.ops < ops:
+                ctx.write(db, ctx.rng.randint(4, 8) * 4 * KIB, offset=0,
+                          sync=True)
+                ctx.unlink(db + "-wal")
+        elif r < _MIX_READ:
+            ctx.read(db)
+        elif r < _MIX_MEDIA:
+            ctx.write(f"/DCIM/Camera/IMG_{shot:05d}.jpg",
+                      ctx.rng.randint(128, 512) * KIB)
+            if shot >= 8:
+                ctx.unlink(f"/DCIM/Camera/IMG_{shot - 8:05d}.jpg")
+            shot += 1
+        else:
+            ctx.write(f"/data/app/pkg{install}/base.apk",
+                      ctx.rng.randint(256, 1024) * KIB, sync=True)
+            if install >= 2:
+                ctx.unlink(f"/data/app/pkg{install - 2}/base.apk")
+            install += 1
+        # bursty inter-arrival: mostly sub-second, sometimes a long idle
+        if ctx.rng.random() < 0.15:
+            ctx.think(120.0 * ctx.rng.random() + 30.0)
+        else:
+            ctx.think(ctx.rng.exponential(2.0))

@@ -1,0 +1,160 @@
+"""Versioned JSONL workload traces: record once, replay anywhere.
+
+A trace is the portable form of a workload: the exact sequence of logical
+filesystem operations (plus explicit think-time gaps) an engine run
+produced, independent of the storage stack it ran on. Because every stack
+exposes the same VFS interface, a trace recorded on one configuration can
+be re-driven against any other — Android-FDE, stock thin, MobiCeal public
+or hidden — for apples-to-apples overhead comparisons, or fed to the
+multi-snapshot security game as a realistic public access pattern.
+
+File format (version 1): one JSON object per line. The first line is the
+header::
+
+    {"format": "repro-workload-trace", "version": 1,
+     "personality": "mixed_daily", "seed": 7, "content_seed": 7}
+
+and every following line one operation::
+
+    {"op": "write", "path": "/a/b", "offset": null, "length": 4096,
+     "sync": false, "at": 1.25}
+
+``op`` is one of ``mkdir | write | read | unlink | rename | fsync |
+think``. For writes, ``offset`` is ``null`` (create/truncate), ``-1``
+(append) or a byte position; ``sync`` marks an fsync-after-write. ``at``
+is the *recording* stack's simulated time at issue — informational only;
+replay derives its own timing from the replayed stack plus the explicit
+``think`` entries, so gaps never smuggle the recording stack's I/O costs
+into a comparison.
+
+Write payloads are not stored: content is regenerated deterministically
+from ``(content_seed, op index)``, which keeps traces small and replays
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceFormatError
+
+#: Magic string identifying a workload trace file.
+TRACE_FORMAT = "repro-workload-trace"
+
+#: Current trace schema version. Bump on incompatible layout changes.
+TRACE_VERSION = 1
+
+#: ``offset`` sentinel meaning "append at end of file".
+APPEND = -1
+
+#: The operation kinds a version-1 trace may contain.
+OP_KINDS = ("mkdir", "write", "read", "unlink", "rename", "fsync", "think")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One logical operation of a workload trace."""
+
+    op: str
+    path: Optional[str] = None
+    path2: Optional[str] = None          # rename destination
+    offset: Optional[int] = None         # None = truncate, APPEND = append
+    length: int = 0
+    sync: bool = False
+    seconds: float = 0.0                 # think-time duration
+    at: float = 0.0                      # sim-time at issue (informational)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "op": self.op,
+            "path": self.path,
+            "path2": self.path2,
+            "offset": self.offset,
+            "length": self.length,
+            "sync": self.sync,
+            "seconds": self.seconds,
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceOp":
+        op = data.get("op")
+        if op not in OP_KINDS:
+            raise TraceFormatError(f"unknown trace op {op!r}")
+        return cls(
+            op=str(op),
+            path=data.get("path"),  # type: ignore[arg-type]
+            path2=data.get("path2"),  # type: ignore[arg-type]
+            offset=data.get("offset"),  # type: ignore[arg-type]
+            length=int(data.get("length", 0) or 0),
+            sync=bool(data.get("sync", False)),
+            seconds=float(data.get("seconds", 0.0) or 0.0),
+            at=float(data.get("at", 0.0) or 0.0),
+        )
+
+
+def trace_header(**meta: object) -> Dict[str, object]:
+    """The header line for a new trace, with *meta* merged in."""
+    header: Dict[str, object] = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+    }
+    header.update(meta)
+    return header
+
+
+def dumps_trace(trace_ops: Sequence[TraceOp], **meta: object) -> str:
+    """Serialize a trace to its JSONL text form (header + one op per line).
+
+    The first positional is named ``trace_ops`` so metadata keys like
+    ``ops=...`` (the requested operation count) can pass through ``meta``.
+    """
+    lines = [json.dumps(trace_header(**meta), sort_keys=True)]
+    lines.extend(json.dumps(op.as_dict(), sort_keys=True) for op in trace_ops)
+    return "\n".join(lines) + "\n"
+
+
+def loads_trace(text: str) -> Tuple[Dict[str, object], List[TraceOp]]:
+    """Parse JSONL trace text into ``(header, ops)``; validates the header."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceFormatError("empty trace")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"bad trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"not a {TRACE_FORMAT} file (header: {lines[0][:80]!r})"
+        )
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} (supported: {TRACE_VERSION})"
+        )
+    ops = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"bad trace line {i}: {exc}") from exc
+        ops.append(TraceOp.from_dict(data))
+    return header, ops
+
+
+def save_trace(
+    path, trace_ops: Sequence[TraceOp], **meta: object
+) -> pathlib.Path:
+    """Write a trace file; returns the path written."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(dumps_trace(trace_ops, **meta))
+    return out
+
+
+def load_trace(path) -> Tuple[Dict[str, object], List[TraceOp]]:
+    """Read and parse a trace file into ``(header, ops)``."""
+    return loads_trace(pathlib.Path(path).read_text())

@@ -15,9 +15,12 @@ class TestParser:
     def test_commands_registered(self):
         parser = build_parser()
         for command in ("fig4", "table1", "table2", "game", "sidechannel",
-                        "crashsim", "trace", "metrics", "all"):
+                        "crashsim", "workload", "workloads", "fleet",
+                        "trace", "metrics", "all"):
             args = parser.parse_args([command])
             assert args.command == command
+        args = parser.parse_args(["replay", "some.trace"])
+        assert args.command == "replay"
 
     def test_seed_option(self):
         args = build_parser().parse_args(["--seed", "7", "table1"])
@@ -26,6 +29,19 @@ class TestParser:
     def test_json_dir_option(self):
         args = build_parser().parse_args(["table1", "--json-dir", "/tmp/x"])
         assert args.json_dir == "/tmp/x"
+
+    def test_userdata_mib_shared_default(self):
+        parser = build_parser()
+        for command in ("sidechannel", "trace", "metrics", "workload",
+                        "workloads", "fleet", "all"):
+            args = parser.parse_args([command])
+            assert args.userdata_mib == 16, command
+
+    def test_userdata_mib_override(self):
+        args = build_parser().parse_args(
+            ["sidechannel", "--userdata-mib", "32"]
+        )
+        assert args.userdata_mib == 32
 
 
 class TestExecution:
@@ -40,11 +56,20 @@ class TestExecution:
         assert payload["experiment"] == "table1"
         assert "pde.dummy_amplification" in payload["metrics"]["gauges"]
 
-    def test_sidechannel_runs(self, capsys):
-        assert main(["sidechannel"]) == 0
+    def test_sidechannel_runs(self, capsys, tmp_path):
+        assert main(["sidechannel", "--json-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "no leakage found" in out
         assert "RAM" in out
+        payload = json.loads(
+            (tmp_path / "BENCH_sidechannel.json").read_text()
+        )
+        assert payload["experiment"] == "sidechannel"
+        rows = payload["results"]["rows"]
+        assert rows[0]["system"] == "MobiCeal"
+        assert not rows[0]["on_disk_leak"] and not rows[0]["ram_leak"]
+        assert rows[1]["on_disk_leak"]
+        assert rows[2]["ram_leak"]
 
     def test_fig4_runs_small(self, capsys, tmp_path):
         assert main(["fig4", "--trials", "1", "--file-mib", "1",
@@ -56,11 +81,18 @@ class TestExecution:
         payload = json.loads((tmp_path / "BENCH_fig4.json").read_text())
         assert "emmc.write" in payload["metrics"]["histograms"]
 
-    def test_game_runs_small(self, capsys):
-        assert main(["game", "--games", "2", "--rounds", "2"]) == 0
+    def test_game_runs_small(self, capsys, tmp_path):
+        assert main(["game", "--games", "2", "--rounds", "2",
+                     "--json-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "advantage" in out
         assert "MobiPluto" in out
+        payload = json.loads((tmp_path / "BENCH_game.json").read_text())
+        assert payload["experiment"] == "game"
+        assert {r["system"] for r in payload["results"]["rows"]} == {
+            "MobiCeal", "MobiPluto",
+        }
+        assert payload["params"]["workload_trace"] is False
 
     def test_trace_runs(self, capsys):
         assert main(["trace"]) == 0
@@ -84,3 +116,58 @@ class TestExecution:
         payload = json.loads((tmp_path / "BENCH_crashsim.json").read_text())
         assert payload["results"]["metadata"]["attempted"] == 3
         assert "thin.meta.area-written" in payload["marks"]
+
+    def test_workload_records_and_replay_reuses_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "mix.trace"
+        assert main(["workload", "--personality", "messaging", "--ops", "25",
+                     "--trace-out", str(trace_path),
+                     "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Workload 'messaging'" in out
+        assert trace_path.exists()
+        payload = json.loads((tmp_path / "BENCH_workload.json").read_text())
+        assert payload["experiment"] == "workload"
+        assert payload["result"]["ops"] >= 25
+
+        assert main(["replay", str(trace_path), "--setting", "android",
+                     "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Replayed" in out
+        replayed = json.loads((tmp_path / "BENCH_replay.json").read_text())
+        assert replayed["result"]["ops"] == payload["result"]["ops"]
+        assert (
+            replayed["result"]["bytes_written"]
+            == payload["result"]["bytes_written"]
+        )
+
+    def test_game_accepts_workload_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "mix.trace"
+        assert main(["workload", "--ops", "25", "--trace-out",
+                     str(trace_path), "--json-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["game", "--games", "2", "--rounds", "2",
+                     "--workload-trace", str(trace_path),
+                     "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cover traffic" in out
+        payload = json.loads((tmp_path / "BENCH_game.json").read_text())
+        assert payload["params"]["workload_trace"] is True
+
+    def test_workloads_overhead_rows(self, capsys, tmp_path):
+        assert main(["workloads", "--ops", "40",
+                     "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Workload mix" in out
+        payload = json.loads((tmp_path / "BENCH_workloads.json").read_text())
+        rows = payload["results"]["rows"]
+        assert [r["setting"] for r in rows] == ["android", "a-t-p", "mc-p"]
+        assert rows[0]["overhead"] == 0.0
+
+    def test_fleet_runs(self, capsys, tmp_path):
+        assert main(["fleet", "--devices", "2", "--ops", "20",
+                     "--processes", "1", "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet: 2 x mc-p" in out
+        payload = json.loads((tmp_path / "BENCH_fleet.json").read_text())
+        assert len(payload["devices"]) == 2
+        assert payload["obs_merged"]["merged_from"] == 2

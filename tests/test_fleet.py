@@ -1,0 +1,130 @@
+"""Tests for the fleet runner and recorder-payload merging."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.obs import merge_recorder_payloads
+from repro.workload import (
+    DeviceSpec,
+    FleetSpec,
+    device_specs,
+    render_fleet_report,
+    run_device,
+    run_fleet,
+)
+
+FLEET = FleetSpec(
+    devices=3, setting="mc-p", personality="mixed_daily", ops=30, base_seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_payload():
+    return run_fleet(FLEET)
+
+
+class TestFleetSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FleetSpec(devices=0).validate()
+        with pytest.raises(WorkloadError):
+            FleetSpec(processes=0).validate()
+        with pytest.raises(WorkloadError):
+            FleetSpec(setting="bogus").validate()
+
+    def test_device_specs_seeds(self):
+        specs = device_specs(FLEET)
+        assert [s.index for s in specs] == [0, 1, 2]
+        assert [s.seed for s in specs] == [5, 6, 7]
+        assert all(s.personality == "mixed_daily" for s in specs)
+
+
+class TestRunFleet:
+    def test_serial_equals_parallel(self, fleet_payload):
+        serial = run_fleet(dataclasses.replace(FLEET, processes=1))
+        for key in ("devices", "totals", "obs_merged"):
+            assert json.dumps(fleet_payload[key], sort_keys=True) == (
+                json.dumps(serial[key], sort_keys=True)
+            )
+
+    def test_sections_match_standalone_runs(self, fleet_payload):
+        """Acceptance: each per-device section of the merged report is the
+        standalone run_device() report at the same seed."""
+        for i, spec in enumerate(device_specs(FLEET)):
+            solo = run_device(spec)
+            assert json.dumps(fleet_payload["devices"][i], sort_keys=True) == (
+                json.dumps(solo, sort_keys=True)
+            )
+
+    def test_totals_sum_devices(self, fleet_payload):
+        totals = fleet_payload["totals"]
+        results = [r["result"] for r in fleet_payload["devices"]]
+        assert totals["ops"] == sum(r["ops"] for r in results)
+        assert totals["bytes_written"] == sum(
+            r["bytes_written"] for r in results
+        )
+        assert totals["elapsed_s_max"] == max(r["elapsed_s"] for r in results)
+
+    def test_payload_shape(self, fleet_payload):
+        assert fleet_payload["experiment"] == "fleet"
+        assert fleet_payload["params"]["devices"] == 3
+        assert fleet_payload["obs_merged"]["merged_from"] == 3
+
+    def test_render(self, fleet_payload):
+        text = render_fleet_report(fleet_payload)
+        assert "Fleet: 3 x mc-p" in text
+        assert "all" in text
+
+    def test_single_device_fleet(self):
+        payload = run_fleet(FleetSpec(devices=1, ops=20, base_seed=2))
+        solo = run_device(DeviceSpec(index=0, ops=20, seed=2))
+        assert json.dumps(payload["devices"][0], sort_keys=True) == (
+            json.dumps(solo, sort_keys=True)
+        )
+
+
+class TestMergeRecorderPayloads:
+    def test_merges_device_observations(self, fleet_payload):
+        merged = fleet_payload["obs_merged"]
+        devices = [r["obs"] for r in fleet_payload["devices"]]
+        # counters sum
+        for name, value in merged["metrics"]["counters"].items():
+            assert value == pytest.approx(sum(
+                d["metrics"]["counters"].get(name, 0) for d in devices
+            ))
+        # io events sum
+        assert merged["io"]["events"] == sum(
+            d["io"]["events"] for d in devices
+        )
+        # gauges average over the devices that reported them
+        for name, value in merged["metrics"]["gauges"].items():
+            reported = [
+                d["metrics"]["gauges"][name] for d in devices
+                if name in d["metrics"]["gauges"]
+            ]
+            assert value == pytest.approx(sum(reported) / len(reported))
+        # histogram counts sum, percentile bounds stay within min/max
+        for name, hist in merged["metrics"]["histograms"].items():
+            assert hist["count"] == sum(
+                d["metrics"]["histograms"][name]["count"] for d in devices
+                if name in d["metrics"]["histograms"]
+            )
+            assert hist["min_s"] <= hist["p50_s"] <= hist["max_s"]
+            assert hist["min_s"] <= hist["p99_s"] <= hist["max_s"]
+
+    def test_span_means_recomputed(self, fleet_payload):
+        merged = fleet_payload["obs_merged"]
+        for agg in merged["spans"].values():
+            assert agg["mean_s"] == pytest.approx(
+                agg["total_s"] / agg["count"]
+            )
+            assert agg["max_s"] <= agg["total_s"] + 1e-12
+
+    def test_empty_merge(self):
+        merged = merge_recorder_payloads([])
+        assert merged["merged_from"] == 0
+        assert merged["spans"] == {}
+        assert merged["io"]["events"] == 0

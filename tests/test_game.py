@@ -10,8 +10,11 @@ from repro.adversary import (
     MultiSnapshotGame,
     UnaccountableAllocationAdversary,
     make_pattern_pairs,
+    pattern_pairs_from_trace,
+    trace_pairs_factory,
 )
 from repro.crypto import Rng
+from repro.workload import DeviceSpec, TraceOp, record_device
 
 
 class TestPatternPairs:
@@ -34,6 +37,57 @@ class TestPatternPairs:
         pairs = make_pattern_pairs(8, Rng(1))
         paths = [op.path for _o0, o1 in pairs for op in o1]
         assert len(paths) == len(set(paths))
+
+
+class TestTracePatternPairs:
+    """Pairs whose cover traffic comes from a recorded workload trace."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        _report, trace = record_device(
+            DeviceSpec(personality="mixed_daily", ops=50, seed=9)
+        )
+        return trace
+
+    def test_model_restriction_holds(self, trace):
+        pairs = pattern_pairs_from_trace(trace, 4)
+        assert len(pairs) == 4
+        for o0, o1 in pairs:
+            assert all(op.volume == "public" for op in o0)
+            assert o1[0].volume == "hidden"
+            assert o1[1:] == o0
+
+    def test_volumes_match_trace_write_bytes(self, trace):
+        pairs = pattern_pairs_from_trace(trace, 3)
+        total = sum(op.nbytes for o0, _o1 in pairs for op in o0)
+        traced = sum(
+            op.length for op in trace if op.op == "write" and op.length > 0
+        )
+        assert total == traced
+
+    def test_rounds_clamped_to_write_count(self):
+        trace = [TraceOp(op="write", path="/f", length=100)]
+        pairs = pattern_pairs_from_trace(trace, 10)
+        assert len(pairs) == 1
+
+    def test_no_writes_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_pairs_from_trace([TraceOp(op="fsync")], 2)
+        with pytest.raises(ValueError):
+            pattern_pairs_from_trace(
+                [TraceOp(op="write", path="/f", length=10)], 0
+            )
+
+    def test_game_accepts_trace_pairs_factory(self, trace):
+        game = MultiSnapshotGame(
+            lambda i: MobiPlutoHarness(seed=600 + i, userdata_blocks=4096),
+            rounds=2,
+            seed=8,
+            pairs_factory=trace_pairs_factory(trace),
+        )
+        # hidden allocations stay unaccountable even under app-shaped cover
+        result = game.run(UnaccountableAllocationAdversary(0.5), games=4)
+        assert result.win_rate == 1.0
 
 
 class TestGameResult:

@@ -1,0 +1,131 @@
+"""Direct unit tests for repro.core.gc (dummy-space garbage collection)."""
+
+import dataclasses
+
+import pytest
+
+from repro.blockdev import RAMBlockDevice
+from repro.core.gc import GCResult, collect_dummy_space, draw_reclaim_fraction
+from repro.crypto import Rng
+from repro.dm.thin import ThinPool
+
+BS = 4096
+
+
+def make_pool(data_blocks=512, seed=0):
+    pool = ThinPool.format(
+        RAMBlockDevice(16), RAMBlockDevice(data_blocks), rng=Rng(seed)
+    )
+    return pool
+
+
+def fill_dummy(pool, vol_id, blocks, seed=1):
+    pool.create_thin(vol_id, 512)
+    rng = Rng(seed)
+    for _ in range(blocks):
+        pool.append_noise(vol_id, rng.random_bytes(BS), rng)
+
+
+class TestGCResult:
+    def test_fields(self):
+        result = GCResult(
+            fraction_targeted=0.5, blocks_examined=10, blocks_reclaimed=4
+        )
+        assert result.fraction_targeted == 0.5
+        assert result.blocks_examined == 10
+        assert result.blocks_reclaimed == 4
+
+    def test_frozen(self):
+        result = GCResult(0.5, 10, 4)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.blocks_reclaimed = 5
+
+
+class TestDrawReclaimFraction:
+    def test_range(self):
+        rng = Rng(3)
+        for _ in range(500):
+            assert 0.0 < draw_reclaim_fraction(rng, 5.0) <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = [draw_reclaim_fraction(Rng(9), 5.0) for _ in range(5)]
+        b = [draw_reclaim_fraction(Rng(9), 5.0) for _ in range(5)]
+        assert a == b
+
+    def test_higher_shape_concentrates_near_one(self):
+        low = sum(draw_reclaim_fraction(Rng(i), 2.0) for i in range(200))
+        high = sum(draw_reclaim_fraction(Rng(i), 20.0) for i in range(200))
+        assert high > low
+
+    def test_shape_one_is_uniform_mean(self):
+        rng = Rng(0)
+        mean = sum(draw_reclaim_fraction(rng, 1.0) for _ in range(4000)) / 4000
+        assert mean == pytest.approx(0.5, abs=0.03)
+
+    @pytest.mark.parametrize("shape", [0, -1, -0.5])
+    def test_nonpositive_shape_rejected(self, shape):
+        with pytest.raises(ValueError):
+            draw_reclaim_fraction(Rng(0), shape)
+
+
+class TestCollectDummySpace:
+    def test_empty_volume_list(self):
+        pool = make_pool()
+        result = collect_dummy_space(pool, [], Rng(0))
+        assert result.blocks_examined == 0
+        assert result.blocks_reclaimed == 0
+        assert 0.0 < result.fraction_targeted <= 1.0
+
+    def test_volume_with_no_mappings(self):
+        pool = make_pool()
+        pool.create_thin(7, 64)
+        result = collect_dummy_space(pool, [7], Rng(0))
+        assert result.blocks_examined == 0
+        assert result.blocks_reclaimed == 0
+
+    def test_reclaimed_blocks_returned_to_pool(self):
+        pool = make_pool()
+        fill_dummy(pool, 2, 60)
+        free_before = pool.free_data_blocks
+        result = collect_dummy_space(pool, [2], Rng(4))
+        assert result.blocks_examined == 60
+        assert pool.free_data_blocks == free_before + result.blocks_reclaimed
+        remaining = pool.volume_record(2).provisioned_blocks
+        assert remaining == 60 - result.blocks_reclaimed
+
+    def test_reclaim_tracks_targeted_fraction(self):
+        pool = make_pool(data_blocks=1024)
+        fill_dummy(pool, 2, 400)
+        result = collect_dummy_space(pool, [2], Rng(8))
+        observed = result.blocks_reclaimed / result.blocks_examined
+        assert observed == pytest.approx(result.fraction_targeted, abs=0.12)
+
+    def test_multiple_volumes_share_one_fraction(self):
+        pool = make_pool(data_blocks=1024)
+        fill_dummy(pool, 2, 100, seed=1)
+        fill_dummy(pool, 3, 100, seed=2)
+        result = collect_dummy_space(pool, [2, 3], Rng(5))
+        assert result.blocks_examined == 200
+        total_left = sum(
+            pool.volume_record(v).provisioned_blocks for v in (2, 3)
+        )
+        assert total_left == 200 - result.blocks_reclaimed
+
+    def test_deterministic_per_seed(self):
+        outcomes = []
+        for _ in range(2):
+            pool = make_pool()
+            fill_dummy(pool, 2, 80)
+            outcomes.append(collect_dummy_space(pool, [2], Rng(12)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_other_volumes_untouched(self):
+        pool = make_pool()
+        fill_dummy(pool, 2, 40)
+        pool.create_thin(1, 64)
+        thin = pool.get_thin(1)
+        for i in range(10):
+            thin.write_block(i, bytes([i + 1]) * BS)
+        collect_dummy_space(pool, [2], Rng(3))
+        for i in range(10):
+            assert thin.read_block(i) == bytes([i + 1]) * BS

@@ -1,0 +1,319 @@
+"""Tests for the workload engine, personalities and trace record/replay."""
+
+import json
+
+import pytest
+
+from repro.bench.stacks import build_fig4_stack
+from repro.crypto import Rng
+from repro.errors import TraceFormatError, WorkloadError
+from repro.workload import (
+    APPEND,
+    PERSONALITIES,
+    DeviceSpec,
+    TraceOp,
+    WorkloadContext,
+    ZipfSampler,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    op_payload,
+    record_device,
+    replay_on_setting,
+    replay_trace,
+    run_device,
+    run_personality,
+    save_trace,
+)
+
+SMALL_BLOCKS = 4096  # 16 MiB userdata
+
+
+def make_stack(setting="android", seed=0):
+    return build_fig4_stack(setting, seed=seed, userdata_blocks=SMALL_BLOCKS)
+
+
+def make_ctx(stack, seed=0, **kwargs):
+    return WorkloadContext(
+        stack.fs, stack.clock, Rng(seed).fork("test"), **kwargs
+    )
+
+
+class TestOpPayload:
+    def test_deterministic(self):
+        assert op_payload(3, 100, 7) == op_payload(3, 100, 7)
+
+    def test_length(self):
+        for n in (0, 1, 255, 256, 4096, 10000):
+            assert len(op_payload(0, n)) == n
+
+    def test_varies_with_index_and_seed(self):
+        assert op_payload(0, 64) != op_payload(1, 64)
+        assert op_payload(0, 64, 1) != op_payload(0, 64, 2)
+
+    def test_negative_length_empty(self):
+        assert op_payload(0, -5) == b""
+
+
+class TestZipfSampler:
+    def test_in_range(self):
+        z = ZipfSampler(10)
+        rng = Rng(0)
+        for _ in range(500):
+            assert 0 <= z.sample(rng) < 10
+
+    def test_rank_zero_hottest(self):
+        z = ZipfSampler(20, s=1.2)
+        rng = Rng(1)
+        counts = [0] * 20
+        for _ in range(3000):
+            counts[z.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[10]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, s=0)
+
+
+class TestTraceFormat:
+    def ops(self):
+        return [
+            TraceOp(op="mkdir", path="/d"),
+            TraceOp(op="write", path="/d/f", offset=None, length=100),
+            TraceOp(op="write", path="/d/f", offset=APPEND, length=50,
+                    sync=True),
+            TraceOp(op="read", path="/d/f", length=-1),
+            TraceOp(op="rename", path="/d/f", path2="/d/g"),
+            TraceOp(op="fsync", path="/d"),
+            TraceOp(op="think", seconds=1.5),
+            TraceOp(op="unlink", path="/d/g"),
+        ]
+
+    def test_round_trip(self):
+        text = dumps_trace(self.ops(), personality="test", seed=3)
+        header, ops = loads_trace(text)
+        assert header["format"] == "repro-workload-trace"
+        assert header["version"] == 1
+        assert header["personality"] == "test"
+        assert header["seed"] == 3
+        assert ops == self.ops()
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_trace(tmp_path / "t.trace", self.ops(), seed=4)
+        header, ops = load_trace(path)
+        assert header["seed"] == 4
+        assert ops == self.ops()
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace('{"format": "repro-workload-trace", "version": 99}')
+
+    def test_bad_op_kind_rejected(self):
+        text = (
+            '{"format": "repro-workload-trace", "version": 1}\n'
+            '{"op": "format-disk"}'
+        )
+        with pytest.raises(TraceFormatError):
+            loads_trace(text)
+
+    def test_bad_json_line_rejected(self):
+        text = '{"format": "repro-workload-trace", "version": 1}\nnot json'
+        with pytest.raises(TraceFormatError):
+            loads_trace(text)
+
+
+class TestWorkloadContext:
+    def test_write_modes(self):
+        stack = make_stack()
+        ctx = make_ctx(stack)
+        ctx.write("/a/f.bin", 1000)
+        assert stack.fs.read_file("/a/f.bin") == op_payload(0, 1000)
+        ctx.write("/a/f.bin", 500, offset=APPEND)
+        assert len(stack.fs.read_file("/a/f.bin")) == 1500
+        ctx.write("/a/f.bin", 100, offset=0, sync=True)
+        data = stack.fs.read_file("/a/f.bin")
+        assert len(data) == 1500
+        assert data[:100] == op_payload(2, 100)
+        assert ctx.ops == 3
+        assert ctx.bytes_written == 1600
+        assert ctx.syncs == 1
+
+    def test_read_missing_file_is_zero(self):
+        stack = make_stack()
+        ctx = make_ctx(stack)
+        assert ctx.read("/nope") == 0
+        assert ctx.bytes_read == 0
+        assert ctx.ops == 1
+
+    def test_unlink_and_rename_idempotent(self):
+        stack = make_stack()
+        ctx = make_ctx(stack)
+        ctx.unlink("/missing")  # must not raise
+        ctx.rename("/missing", "/elsewhere")  # must not raise
+        ctx.write("/a/src", 64)
+        ctx.write("/b/dst", 64)
+        ctx.rename("/a/src", "/b/dst")  # os.replace semantics
+        assert not stack.fs.exists("/a/src")
+        assert stack.fs.read_file("/b/dst") == op_payload(2, 64)
+
+    def test_rename_creates_destination_parent(self):
+        stack = make_stack()
+        ctx = make_ctx(stack)
+        ctx.write("/staging/pkg.apk", 128)
+        ctx.rename("/staging/pkg.apk", "/installed/app-1/pkg.apk")
+        assert stack.fs.exists("/installed/app-1/pkg.apk")
+
+    def test_think_advances_clock_only(self):
+        stack = make_stack()
+        ctx = make_ctx(stack)
+        t0 = stack.clock.now
+        ctx.think(2.5)
+        assert stack.clock.now == pytest.approx(t0 + 2.5)
+        assert ctx.think_total == 2.5
+        with pytest.raises(WorkloadError):
+            ctx.think(-1)
+
+    def test_recording_can_be_disabled(self):
+        stack = make_stack()
+        ctx = make_ctx(stack, record=False)
+        ctx.write("/f", 10)
+        ctx.think(1.0)
+        assert ctx.trace == []
+        assert ctx.ops == 2
+
+
+class TestRunPersonality:
+    def test_unknown_personality(self):
+        stack = make_stack()
+        with pytest.raises(WorkloadError, match="unknown personality"):
+            run_personality("nope", stack.fs, stack.clock, Rng(0))
+
+    def test_nonpositive_ops(self):
+        stack = make_stack()
+        with pytest.raises(WorkloadError):
+            run_personality(
+                "messaging", stack.fs, stack.clock, Rng(0), ops=0
+            )
+
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_each_personality_runs_and_records(self, name):
+        stack = make_stack()
+        result, trace = run_personality(
+            name, stack.fs, stack.clock, Rng(5).fork(name), ops=30,
+            stats_device=stack.phone.userdata,
+        )
+        assert result.ops >= 30
+        assert result.ops == len(trace)
+        assert result.bytes_written > 0
+        assert result.io.writes > 0
+        assert result.busy_s >= 0
+        assert result.elapsed_s >= result.think_s
+
+    @pytest.mark.parametrize("setting", ("a-t-p", "mc-p", "mc-h"))
+    def test_personality_portable_across_stacks(self, setting):
+        """The same (personality, seed) issues identical logical traffic
+        on every stack — only the measured costs differ."""
+        base = make_stack("android")
+        _res_a, trace_a = run_personality(
+            "mixed_daily", base.fs, base.clock, Rng(2).fork("p"), ops=40
+        )
+        other = make_stack(setting)
+        _res_b, trace_b = run_personality(
+            "mixed_daily", other.fs, other.clock, Rng(2).fork("p"), ops=40
+        )
+        strip = lambda ops: [
+            (o.op, o.path, o.path2, o.offset, o.length, o.sync, o.seconds)
+            for o in ops
+        ]
+        assert strip(trace_a) == strip(trace_b)
+
+
+class TestReplay:
+    def test_replay_reproduces_file_contents(self):
+        stack = make_stack(seed=1)
+        _result, trace = run_personality(
+            "sqlite_wal", stack.fs, stack.clock, Rng(1).fork("w"), ops=25,
+            content_seed=9,
+        )
+        replayed = make_stack(seed=1)
+        replay_trace(trace, replayed.fs, replayed.clock, content_seed=9)
+        db = "/data/data/com.example.app/databases/app.db"
+        assert replayed.fs.read_file(db) == stack.fs.read_file(db)
+
+    def test_replay_twice_byte_identical(self):
+        """Acceptance: same trace, same stack config + seed -> identical
+        IOStats and obs payload JSON."""
+        _report, trace = record_device(
+            DeviceSpec(personality="mixed_daily", ops=40, seed=6)
+        )
+        runs = [
+            replay_on_setting(trace, "mc-p", seed=6, content_seed=6)
+            for _ in range(2)
+        ]
+        (r1, o1), (r2, o2) = runs
+        assert r1.io.as_dict() == r2.io.as_dict()
+        assert r1.as_dict() == r2.as_dict()
+        assert json.dumps(o1, sort_keys=True) == json.dumps(o2, sort_keys=True)
+
+    def test_replay_across_stacks_same_logical_traffic(self):
+        _report, trace = record_device(
+            DeviceSpec(personality="mixed_daily", ops=40, seed=2)
+        )
+        results = {
+            setting: replay_on_setting(trace, setting, seed=2, content_seed=2)[0]
+            for setting in ("android", "mc-p")
+        }
+        assert (
+            results["android"].bytes_written == results["mc-p"].bytes_written
+        )
+        assert results["android"].ops == results["mc-p"].ops
+        assert results["android"].think_s == pytest.approx(
+            results["mc-p"].think_s
+        )
+        # the PDE stack pays real overhead over plain FDE
+        assert results["mc-p"].busy_s > results["android"].busy_s
+
+    def test_replay_on_unknown_setting(self):
+        with pytest.raises(WorkloadError):
+            replay_on_setting([TraceOp(op="fsync")], "not-a-setting")
+
+
+class TestRunner:
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            DeviceSpec(setting="bogus").validate()
+        with pytest.raises(WorkloadError):
+            DeviceSpec(ops=0).validate()
+        with pytest.raises(WorkloadError):
+            DeviceSpec(userdata_blocks=10).validate()
+
+    def test_run_device_deterministic(self):
+        spec = DeviceSpec(personality="messaging", ops=30, seed=13)
+        a, b = run_device(spec), run_device(spec)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_report_shape(self):
+        report = run_device(DeviceSpec(ops=25, seed=1))
+        assert report["device"] == 0
+        assert report["spec"]["personality"] == "mixed_daily"
+        assert report["result"]["ops"] >= 25
+        assert report["obs"]["schema_version"] == 1
+        # deniability gauges recorded for PDE settings
+        assert "pde.dummy_amplification" in report["obs"]["metrics"]["gauges"]
+
+    def test_android_setting_has_no_pde_gauges(self):
+        report = run_device(DeviceSpec(setting="android", ops=25, seed=1))
+        assert "pde.dummy_amplification" not in (
+            report["obs"]["metrics"]["gauges"]
+        )
