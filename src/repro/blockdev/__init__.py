@@ -4,11 +4,13 @@ from repro.blockdev.clock import SimClock, Stopwatch
 from repro.blockdev.device import (
     DEFAULT_BLOCK_SIZE,
     BlockDevice,
+    ExtentCosts,
     IOStats,
     RAMBlockDevice,
     ReadOnlyView,
     SubDevice,
     in_recovery,
+    per_block_baseline,
     recovery_io,
 )
 from repro.blockdev.emmc import EMMCDevice
@@ -40,11 +42,13 @@ __all__ = [
     "Stopwatch",
     "DEFAULT_BLOCK_SIZE",
     "BlockDevice",
+    "ExtentCosts",
     "IOStats",
     "RAMBlockDevice",
     "ReadOnlyView",
     "SubDevice",
     "in_recovery",
+    "per_block_baseline",
     "recovery_io",
     "EMMCDevice",
     "FaultPlan",

@@ -68,6 +68,14 @@ def bulk_pass(
     if materialize and write:
         if content is None:
             raise ValueError("materialize=True requires a content function")
-        for block in range(device.num_blocks):
-            device.poke(block, content(block))
+        # fill in ~1 MiB extents; content() is still called once per block
+        # in ascending order
+        chunk_blocks = max(1, (1 << 20) // device.block_size)
+        block = 0
+        while block < device.num_blocks:
+            n = min(chunk_blocks, device.num_blocks - block)
+            device.poke_extent(
+                block, b"".join(content(block + i) for i in range(n))
+            )
+            block += n
     return cost

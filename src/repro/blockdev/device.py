@@ -12,7 +12,7 @@ import contextlib
 import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import (
     BadBlockSizeError,
@@ -23,6 +23,99 @@ from repro.errors import (
 
 #: Default logical block size for the stack (matches ext4 and dm-thin).
 DEFAULT_BLOCK_SIZE = 4096
+
+# While True, read_blocks/write_blocks decompose into per-block operations
+# at the top of the stack instead of propagating extents. The equivalence
+# tests and the hotpath benchmark use this as the reference behaviour.
+_PER_BLOCK_ONLY = False
+
+
+@contextlib.contextmanager
+def per_block_baseline() -> Iterator[None]:
+    """Force the legacy per-block I/O path for the enclosed code.
+
+    Inside this context every ``read_blocks``/``write_blocks`` call is
+    decomposed into ``read_block``/``write_block`` loops before entering
+    the stack, which is exactly the pre-extent behaviour. Fidelity tests
+    compare device images, simulated clocks and IOStats between the two
+    paths; the hotpath benchmark uses it as its wall-clock baseline.
+    """
+    global _PER_BLOCK_ONLY
+    previous = _PER_BLOCK_ONLY
+    _PER_BLOCK_ONLY = True
+    try:
+        yield
+    finally:
+        _PER_BLOCK_ONLY = previous
+
+
+class ExtentCosts:
+    """Deferred per-block clock charges carried alongside an extent.
+
+    Layers above the physical device (dm-crypt CPU time, dm-thin lookup
+    cost) charge the simulated clock once per block. When a multi-block
+    extent travels down the stack in a single call, those charges must
+    still hit the clock in exactly the per-block order — IEEE-754
+    addition is not associative, so batching them per layer would drift
+    the simulated clock away from the per-block path by rounding. Each
+    layer therefore appends its per-block charge to this schedule instead
+    of advancing the clock itself, and the leaf device replays the
+    schedule once per block, interleaved with its own latency charges.
+
+    ``pre`` charges land before a block's device operation (write-side
+    CPU, thin lookups); ``post`` charges land after it (read-side CPU,
+    e.g. decryption of data that just arrived). Besides clock charges a
+    layer may schedule arbitrary per-block callbacks (``add_pre_call`` /
+    ``add_post_call``) — observability counters use these so that a fault
+    raised mid-extent leaves the counters exactly where the per-block
+    path would have.
+    """
+
+    __slots__ = ("pre", "post", "pre_calls", "post_calls")
+
+    def __init__(self) -> None:
+        self.pre: List[Tuple[object, float, str]] = []
+        self.post: List[Tuple[object, float, str]] = []
+        self.pre_calls: List = []
+        self.post_calls: List = []
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.pre or self.post or self.pre_calls or self.post_calls
+        )
+
+    def add_pre(self, clock, seconds: float, reason: str) -> None:
+        self.pre.append((clock, seconds, reason))
+
+    def add_post(self, clock, seconds: float, reason: str) -> None:
+        self.post.append((clock, seconds, reason))
+
+    def add_pre_call(self, fn) -> None:
+        self.pre_calls.append(fn)
+
+    def add_post_call(self, fn) -> None:
+        self.post_calls.append(fn)
+
+    def replay_pre(self) -> None:
+        for clock, seconds, reason in self.pre:
+            clock.advance(seconds, reason)
+        for fn in self.pre_calls:
+            fn()
+
+    def replay_post(self) -> None:
+        for clock, seconds, reason in self.post:
+            clock.advance(seconds, reason)
+        for fn in self.post_calls:
+            fn()
+
+    def clone(self) -> "ExtentCosts":
+        copy = ExtentCosts()
+        copy.pre = list(self.pre)
+        copy.post = list(self.post)
+        copy.pre_calls = list(self.pre_calls)
+        copy.post_calls = list(self.post_calls)
+        return copy
 
 # Depth of nested recovery_io() sections. While positive, every device
 # books its I/O under the recovery_* counters instead of the workload
@@ -191,19 +284,90 @@ class BlockDevice(ABC):
             raise BadBlockSizeError(len(data), self._block_size)
         self._write(block, data)
 
-    # -- bulk helpers --------------------------------------------------------
+    def peek_extent(self, start: int, count: int) -> bytes:
+        """Bulk :meth:`peek` over *count* consecutive blocks.
 
-    def read_blocks(self, start: int, count: int) -> bytes:
-        """Read *count* consecutive blocks starting at *start*."""
-        return b"".join(self.read_block(start + i) for i in range(count))
+        Default loops per block; RAM-backed devices serve one buffer
+        slice, and pass-through wrappers forward to their base device.
+        """
+        return b"".join(self.peek(start + i) for i in range(count))
 
-    def write_blocks(self, start: int, data: bytes) -> None:
+    def poke_extent(self, start: int, data: bytes) -> None:
+        """Bulk :meth:`poke` of consecutive blocks (bulk fill, restore)."""
+        bs = self._block_size
+        if len(data) % bs != 0:
+            raise BadBlockSizeError(len(data), bs)
+        for i in range(len(data) // bs):
+            self.poke(start + i, data[i * bs : (i + 1) * bs])
+
+    # -- extent (vectored) I/O ----------------------------------------------
+
+    def read_blocks(
+        self, start: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        """Read *count* consecutive blocks starting at *start*.
+
+        This is the bio-style extent entry point: the request propagates
+        down the stack as one call, stats are booked once, and *costs*
+        carries upper layers' per-block clock charges so the leaf device
+        can replay them in exact per-block order (see :class:`ExtentCosts`).
+        """
+        if count <= 0:
+            return b""
+        if _PER_BLOCK_ONLY:
+            return self._read_per_block(start, count, costs)
+        self._check_extent(start, count)
+        data = self._read_extent(start, count, costs)
+        if _RECOVERY_DEPTH:
+            self.stats.recovery_reads += count
+        else:
+            self.stats.reads += count
+            self.stats.bytes_read += count * self._block_size
+        return data
+
+    def write_blocks(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
         """Write *data* (a multiple of block_size) at consecutive blocks."""
         if len(data) % self._block_size != 0:
             raise BadBlockSizeError(len(data), self._block_size)
-        for i in range(len(data) // self._block_size):
-            lo = i * self._block_size
-            self.write_block(start + i, data[lo : lo + self._block_size])
+        count = len(data) // self._block_size
+        if count == 0:
+            return
+        if _PER_BLOCK_ONLY:
+            self._write_per_block(start, data, costs)
+            return
+        self._check_extent(start, count)
+        self._write_extent(start, data, costs)
+        if _RECOVERY_DEPTH:
+            self.stats.recovery_writes += count
+        else:
+            self.stats.writes += count
+            self.stats.bytes_written += count * self._block_size
+
+    def _read_per_block(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        """Legacy reference path: decompose the extent at the top."""
+        if costs is None or costs.empty:
+            return b"".join(self.read_block(start + i) for i in range(count))
+        parts = []
+        for i in range(count):
+            costs.replay_pre()
+            parts.append(self.read_block(start + i))
+            costs.replay_post()
+        return b"".join(parts)
+
+    def _write_per_block(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        bs = self._block_size
+        for i in range(len(data) // bs):
+            if costs is not None:
+                costs.replay_pre()
+            self.write_block(start + i, data[i * bs : (i + 1) * bs])
+            if costs is not None:
+                costs.replay_post()
 
     # -- hooks for subclasses ------------------------------------------------
 
@@ -212,6 +376,39 @@ class BlockDevice(ABC):
 
     @abstractmethod
     def _write(self, block: int, data: bytes) -> None: ...
+
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        """Serve a validated multi-block read.
+
+        Default falls back to per-block :meth:`_read` calls (replaying the
+        cost schedule around each), so third-party subclasses that only
+        implement the per-block hooks keep working unchanged. Devices
+        with a bulk backing store override this with a single-slice path.
+        """
+        if costs is None or costs.empty:
+            return b"".join(self._read(start + i) for i in range(count))
+        parts = []
+        for i in range(count):
+            costs.replay_pre()
+            parts.append(self._read(start + i))
+            costs.replay_post()
+        return b"".join(parts)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        """Serve a validated multi-block write (default: per-block loop)."""
+        bs = self._block_size
+        if costs is None or costs.empty:
+            for i in range(len(data) // bs):
+                self._write(start + i, data[i * bs : (i + 1) * bs])
+            return
+        for i in range(len(data) // bs):
+            costs.replay_pre()
+            self._write(start + i, data[i * bs : (i + 1) * bs])
+            costs.replay_post()
 
     def _flush(self) -> None:
         pass
@@ -224,6 +421,14 @@ class BlockDevice(ABC):
             raise DeviceClosedError("I/O on closed device")
         if not 0 <= block < self._num_blocks:
             raise OutOfRangeError(block, self._num_blocks)
+
+    def _check_extent(self, start: int, count: int) -> None:
+        if self._closed:
+            raise DeviceClosedError("I/O on closed device")
+        if start < 0 or start + count > self._num_blocks:
+            # report the first offending block, like the per-block loop did
+            bad = start if not 0 <= start < self._num_blocks else self._num_blocks
+            raise OutOfRangeError(bad, self._num_blocks)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -286,12 +491,60 @@ class RAMBlockDevice(BlockDevice):
         lo = block * self._block_size
         self._buf[lo : lo + self._block_size] = data
 
+    def _copy_out(self, start: int, count: int) -> bytes:
+        """One-pass bulk read from the backing store (no stats, no costs)."""
+        if self._sparse:
+            get = self._blocks.get
+            fill = self._fill_block
+            return b"".join(get(start + i, fill) for i in range(count))
+        lo = start * self._block_size
+        return bytes(self._buf[lo : lo + count * self._block_size])
+
+    def _copy_in(self, start: int, data: bytes) -> None:
+        """One-pass bulk write into the backing store."""
+        bs = self._block_size
+        if self._sparse:
+            blocks = self._blocks
+            for i in range(len(data) // bs):
+                blocks[start + i] = bytes(data[i * bs : (i + 1) * bs])
+            return
+        lo = start * bs
+        self._buf[lo : lo + len(data)] = data
+
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        if costs is not None and not costs.empty:
+            for _ in range(count):
+                costs.replay_pre()
+                costs.replay_post()
+        return self._copy_out(start, count)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        if costs is not None and not costs.empty:
+            for _ in range(len(data) // self._block_size):
+                costs.replay_pre()
+                costs.replay_post()
+        self._copy_in(start, data)
+
+    def peek_extent(self, start: int, count: int) -> bytes:
+        return self._copy_out(start, count)
+
+    def poke_extent(self, start: int, data: bytes) -> None:
+        if len(data) % self._block_size != 0:
+            raise BadBlockSizeError(len(data), self._block_size)
+        self._copy_in(start, data)
+
     def _discard(self, block: int) -> None:
         if self._sparse:
             self._blocks.pop(block, None)
             return
+        # restore the fill pattern, matching sparse mode and never-written
+        # blocks (a discarded flash region reads back as factory-fresh)
         lo = block * self._block_size
-        self._buf[lo : lo + self._block_size] = b"\x00" * self._block_size
+        self._buf[lo : lo + self._block_size] = self._fill_block
 
     def raw_bytes(self) -> bytes:
         """The full device image (used by snapshot capture); dense only."""
@@ -337,6 +590,16 @@ class SubDevice(BlockDevice):
     def _write(self, block: int, data: bytes) -> None:
         self._base.write_block(self._start + block, data)
 
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        return self._base.read_blocks(self._start + start, count, costs)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        self._base.write_blocks(self._start + start, data, costs)
+
     def _flush(self) -> None:
         self._base.flush()
 
@@ -354,7 +617,17 @@ class ReadOnlyView(BlockDevice):
     def _read(self, block: int) -> bytes:
         return self._base.read_block(block)
 
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        return self._base.read_blocks(start, count, costs)
+
     def _write(self, block: int, data: bytes) -> None:
+        raise ReadOnlyDeviceError("write on read-only view")
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
         raise ReadOnlyDeviceError("write on read-only view")
 
     def _discard(self, block: int) -> None:

@@ -16,7 +16,11 @@ from typing import Optional
 
 from repro import obs
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import DEFAULT_BLOCK_SIZE, RAMBlockDevice
+from repro.blockdev.device import (
+    DEFAULT_BLOCK_SIZE,
+    ExtentCosts,
+    RAMBlockDevice,
+)
 from repro.blockdev.latency import FREE, LatencyModel
 from repro.crypto.rng import Rng
 
@@ -67,6 +71,81 @@ class EMMCDevice(RAMBlockDevice):
         self.clock.advance(cost, "emmc-write")
         obs.observe_latency("emmc.write", cost)
         super()._write(block, data)
+
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        # Only the first block of the extent can pay the random-access
+        # penalty; the rest are sequential by construction. Charges are
+        # replayed per block so the clock matches the per-block path bit
+        # for bit (float addition order matters).
+        sequential = self._last_read_end == start
+        self._last_read_end = start + count
+        bs = self.block_size
+        advance = self.clock.advance
+        observe = obs.observe_latency
+        replay = costs is not None and not costs.empty
+        if self._jitter:
+            read_cost = self.latency.read_cost
+            jittered = self._jittered
+            for i in range(count):
+                if replay:
+                    costs.replay_pre()
+                cost = jittered(read_cost(bs, sequential if i == 0 else True))
+                advance(cost, "emmc-read")
+                observe("emmc.read", cost)
+                if replay:
+                    costs.replay_post()
+        else:
+            # jitter-free: the cost is the same for every block after the
+            # first, so hoist the model out of the hot loop
+            first = self.latency.read_cost(bs, sequential)
+            rest = self.latency.read_cost(bs, True)
+            cost = first
+            for i in range(count):
+                if replay:
+                    costs.replay_pre()
+                advance(cost, "emmc-read")
+                observe("emmc.read", cost)
+                if replay:
+                    costs.replay_post()
+                cost = rest
+        return self._copy_out(start, count)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        sequential = self._last_write_end == start
+        bs = self.block_size
+        count = len(data) // bs
+        self._last_write_end = start + count
+        advance = self.clock.advance
+        observe = obs.observe_latency
+        replay = costs is not None and not costs.empty
+        if self._jitter:
+            write_cost = self.latency.write_cost
+            jittered = self._jittered
+            for i in range(count):
+                if replay:
+                    costs.replay_pre()
+                cost = jittered(write_cost(bs, sequential if i == 0 else True))
+                advance(cost, "emmc-write")
+                observe("emmc.write", cost)
+                if replay:
+                    costs.replay_post()
+        else:
+            first = self.latency.write_cost(bs, sequential)
+            rest = self.latency.write_cost(bs, True)
+            cost = first
+            for i in range(count):
+                if replay:
+                    costs.replay_pre()
+                advance(cost, "emmc-write")
+                observe("emmc.write", cost)
+                if replay:
+                    costs.replay_post()
+                cost = rest
+        self._copy_in(start, data)
 
     def _flush(self) -> None:
         # Model a cache flush as one write-op worth of latency.

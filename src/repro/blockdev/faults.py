@@ -27,7 +27,7 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, ExtentCosts
 from repro.crypto.rng import Rng
 from repro.errors import PowerCutError, TransientIOError
 
@@ -280,6 +280,26 @@ class FaultyBlockDevice(BlockDevice):
         self._check_alive()
         self._base.discard(block)
 
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        # An armed plan draws RNG and counts write indices per block, so
+        # extents must decompose here to keep fault outcomes identical to
+        # the per-block path. Unarmed, the wrapper is fully transparent.
+        if self._plan is not None:
+            return super()._read_extent(start, count, costs)
+        self._check_alive()
+        return self._base.read_blocks(start, count, costs)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        if self._plan is not None:
+            super()._write_extent(start, data, costs)
+            return
+        self._check_alive()
+        self._base.write_blocks(start, data, costs)
+
     # out-of-band access bypasses fault injection entirely: forensic
     # snapshot capture images the medium, dead or not.
     def peek(self, block: int) -> bytes:
@@ -287,6 +307,12 @@ class FaultyBlockDevice(BlockDevice):
 
     def poke(self, block: int, data: bytes) -> None:
         self._base.poke(block, data)
+
+    def peek_extent(self, start: int, count: int) -> bytes:
+        return self._base.peek_extent(start, count)
+
+    def poke_extent(self, start: int, data: bytes) -> None:
+        self._base.poke_extent(start, data)
 
 
 # ---------------------------------------------------------------------------

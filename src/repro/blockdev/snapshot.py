@@ -44,14 +44,28 @@ def capture(device: BlockDevice, label: str = "", taken_at: float = 0.0) -> Snap
 
     The adversary images the raw medium (e.g. by desoldering or via a
     forensic port), so the capture bypasses the stats/latency machinery by
-    reading through the out-of-band ``peek`` hook.
+    reading through the out-of-band ``peek_extent`` hook, ~1 MiB at a
+    time. Identical blocks are interned so an image dominated by one fill
+    pattern (sparse or factory-fresh devices) stays cheap in memory.
     """
-    blocks = tuple(device.peek(i) for i in range(device.num_blocks))
+    bs = device.block_size
+    total = device.num_blocks
+    chunk = max(1, (1 << 20) // bs)
+    interned: Dict[bytes, bytes] = {}
+    blocks: List[bytes] = []
+    start = 0
+    while start < total:
+        take = min(chunk, total - start)
+        raw = device.peek_extent(start, take)
+        for i in range(take):
+            b = raw[i * bs : (i + 1) * bs]
+            blocks.append(interned.setdefault(b, b))
+        start += take
     return Snapshot(
         label=label,
         taken_at=taken_at,
-        block_size=device.block_size,
-        blocks=blocks,
+        block_size=bs,
+        blocks=tuple(blocks),
     )
 
 
@@ -140,5 +154,8 @@ def restore(device, snapshot: Snapshot) -> None:
     """Write *snapshot* back onto *device* (forensic image restore)."""
     if device.num_blocks != snapshot.num_blocks:
         raise ValueError("snapshot geometry does not match device")
-    for i, data in enumerate(snapshot.blocks):
-        device.poke(i, data)
+    chunk = max(1, (1 << 20) // snapshot.block_size)
+    for start in range(0, snapshot.num_blocks, chunk):
+        device.poke_extent(
+            start, b"".join(snapshot.blocks[start : start + chunk])
+        )

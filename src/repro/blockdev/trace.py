@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro import obs
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, ExtentCosts
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,29 @@ class TracingDevice(BlockDevice):
         self._base.flush()
         self._record("flush", -1)
 
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        # With a clock attached every event needs the timestamp of *its own*
+        # block's completion, so the extent must decompose here; without one
+        # all events stamp 0.0 and the extent can pass through whole.
+        if self._clock is not None:
+            return super()._read_extent(start, count, costs)
+        data = self._base.read_blocks(start, count, costs)
+        for i in range(count):
+            self._record("read", start + i)
+        return data
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        if self._clock is not None:
+            super()._write_extent(start, data, costs)
+            return
+        self._base.write_blocks(start, data, costs)
+        for i in range(len(data) // self.block_size):
+            self._record("write", start + i)
+
     # out-of-band access is deliberately NOT traced (the adversary's
     # snapshot capture must not perturb the trace)
     def peek(self, block: int) -> bytes:
@@ -81,6 +104,12 @@ class TracingDevice(BlockDevice):
 
     def poke(self, block: int, data: bytes) -> None:
         self._base.poke(block, data)
+
+    def peek_extent(self, start: int, count: int) -> bytes:
+        return self._base.peek_extent(start, count)
+
+    def poke_extent(self, start: int, data: bytes) -> None:
+        self._base.poke_extent(start, data)
 
     def clear(self) -> None:
         self.events.clear()

@@ -20,8 +20,20 @@ from abc import ABC, abstractmethod
 
 from repro.crypto.aes import AES
 from repro.errors import InvalidKeyError
+from repro.util.units import SECTOR_SIZE
 
 _CHUNK = 64  # BLAKE2b output size
+
+# Little-endian 4-byte chunk counters, extended on demand and shared by
+# every Blake2Ctr instance (counter i is the same bytes for any key).
+_COUNTER_CACHE: list = []
+
+
+def _chunk_counters(n: int) -> list:
+    cache = _COUNTER_CACHE
+    while len(cache) < n:
+        cache.append(len(cache).to_bytes(4, "little"))
+    return cache[:n]
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
@@ -49,6 +61,40 @@ class SectorCipher(ABC):
     @abstractmethod
     def key(self) -> bytes: ...
 
+    def encrypt_extent(self, sector: int, data: bytes, unit_bytes: int) -> bytes:
+        """Encrypt consecutive *unit_bytes*-sized units starting at *sector*.
+
+        Each unit is addressed by the sector number of its first 512-byte
+        sector, exactly as if it were encrypted alone. Default loops over
+        :meth:`encrypt_sector`; stream ciphers override with a one-pass
+        keystream.
+        """
+        if len(data) % unit_bytes != 0:
+            raise ValueError(
+                f"extent length {len(data)} not a multiple of {unit_bytes}"
+            )
+        step = unit_bytes // SECTOR_SIZE
+        return b"".join(
+            self.encrypt_sector(
+                sector + u * step, data[u * unit_bytes : (u + 1) * unit_bytes]
+            )
+            for u in range(len(data) // unit_bytes)
+        )
+
+    def decrypt_extent(self, sector: int, data: bytes, unit_bytes: int) -> bytes:
+        """Decrypt consecutive units; the inverse of :meth:`encrypt_extent`."""
+        if len(data) % unit_bytes != 0:
+            raise ValueError(
+                f"extent length {len(data)} not a multiple of {unit_bytes}"
+            )
+        step = unit_bytes // SECTOR_SIZE
+        return b"".join(
+            self.decrypt_sector(
+                sector + u * step, data[u * unit_bytes : (u + 1) * unit_bytes]
+            )
+            for u in range(len(data) // unit_bytes)
+        )
+
 
 class Blake2Ctr(SectorCipher):
     """Counter-mode stream cipher keyed with BLAKE2b (fast bulk cipher)."""
@@ -59,18 +105,21 @@ class Blake2Ctr(SectorCipher):
                 f"Blake2Ctr key must be 16..64 bytes, got {len(key)}"
             )
         self._key = key
+        # Keyed hashers pay the key-block compression on construction;
+        # copying a pre-keyed template skips that per chunk.
+        self._template = hashlib.blake2b(key=key, digest_size=_CHUNK)
 
     @property
     def key(self) -> bytes:
         return self._key
 
     def _keystream(self, sector: int, nbytes: int) -> bytes:
-        chunks = []
         prefix = sector.to_bytes(8, "little")
-        for i in range((nbytes + _CHUNK - 1) // _CHUNK):
-            h = hashlib.blake2b(
-                prefix + i.to_bytes(4, "little"), key=self._key, digest_size=_CHUNK
-            )
+        template = self._template
+        chunks = []
+        for counter in _chunk_counters((nbytes + _CHUNK - 1) // _CHUNK):
+            h = template.copy()
+            h.update(prefix + counter)
             chunks.append(h.digest())
         return b"".join(chunks)[:nbytes]
 
@@ -80,6 +129,30 @@ class Blake2Ctr(SectorCipher):
 
     def decrypt_sector(self, sector: int, ciphertext: bytes) -> bytes:
         return self.encrypt_sector(sector, ciphertext)  # XOR is symmetric
+
+    def encrypt_extent(self, sector: int, data: bytes, unit_bytes: int) -> bytes:
+        """One-pass keystream for all units, XORed in a single operation.
+
+        The keystream of unit ``u`` is exactly ``_keystream(sector + u*step,
+        unit_bytes)``, so the concatenated-XOR result is bitwise identical
+        to per-unit encryption.
+        """
+        if unit_bytes % _CHUNK != 0 or len(data) % unit_bytes != 0:
+            return super().encrypt_extent(sector, data, unit_bytes)
+        step = unit_bytes // SECTOR_SIZE
+        template = self._template
+        counters = _chunk_counters(unit_bytes // _CHUNK)
+        chunks = []
+        for u in range(len(data) // unit_bytes):
+            prefix = (sector + u * step).to_bytes(8, "little")
+            for counter in counters:
+                h = template.copy()
+                h.update(prefix + counter)
+                chunks.append(h.digest())
+        return xor_bytes(data, b"".join(chunks))
+
+    def decrypt_extent(self, sector: int, data: bytes, unit_bytes: int) -> bytes:
+        return self.encrypt_extent(sector, data, unit_bytes)
 
 
 class AesCtrEssiv(SectorCipher):

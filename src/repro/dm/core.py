@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, ExtentCosts
 from repro.errors import TableError
 
 
@@ -33,6 +33,33 @@ class Target(ABC):
     @abstractmethod
     def write(self, block: int, data: bytes) -> None:
         """Write virtual *block* within this target's segment."""
+
+    def read_extent(
+        self, block: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        """Read *count* consecutive blocks (default: per-block loop)."""
+        if costs is None or costs.empty:
+            return b"".join(self.read(block + i) for i in range(count))
+        parts = []
+        for i in range(count):
+            costs.replay_pre()
+            parts.append(self.read(block + i))
+            costs.replay_post()
+        return b"".join(parts)
+
+    def write_extent(
+        self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
+        """Write consecutive blocks (default: per-block loop)."""
+        bs = self.block_size
+        if costs is None or costs.empty:
+            for i in range(len(data) // bs):
+                self.write(block + i, data[i * bs : (i + 1) * bs])
+            return
+        for i in range(len(data) // bs):
+            costs.replay_pre()
+            self.write(block + i, data[i * bs : (i + 1) * bs])
+            costs.replay_post()
 
     def discard(self, block: int) -> None:
         """Discard hint; targets may ignore it."""
@@ -94,6 +121,32 @@ class DMDevice(BlockDevice):
     def _write(self, block: int, data: bytes) -> None:
         entry, offset = self._lookup(block)
         entry.target.write(offset, data)
+
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        parts = []
+        while count > 0:
+            entry, offset = self._lookup(start)
+            span = min(count, entry.length - offset)
+            parts.append(entry.target.read_extent(offset, span, costs))
+            start += span
+            count -= span
+        return b"".join(parts)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        bs = self._block_size
+        count = len(data) // bs
+        pos = 0
+        while count > 0:
+            entry, offset = self._lookup(start)
+            span = min(count, entry.length - offset)
+            entry.target.write_extent(offset, data[pos : pos + span * bs], costs)
+            start += span
+            pos += span * bs
+            count -= span
 
     def _discard(self, block: int) -> None:
         entry, offset = self._lookup(block)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro import obs
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, ExtentCosts
 from repro.blockdev.clock import SimClock
 from repro.crypto.stream import Blake2Ctr, SectorCipher
 from repro.dm.core import Target, single_target_device
@@ -65,6 +65,43 @@ class CryptTarget(Target):
         obs.counter_add("crypt.bytes_encrypted", len(data))
         ciphertext = self._cipher.encrypt_sector(self._sector_of(block), data)
         self._device.write_block(block, ciphertext)
+
+    def read_extent(
+        self, block: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        # The per-block path charges the CPU cost *after* each block's data
+        # arrives (decryption waits on the device), so the charge is
+        # scheduled as a post-cost replayed by the leaf device per block.
+        # clone: the schedule handed down must not leak back into the
+        # caller's (a multi-segment table reuses its costs object)
+        costs = ExtentCosts() if costs is None else costs.clone()
+        bs = self.block_size
+        if self._clock is not None and self._byte_cost:
+            costs.add_post(self._clock, bs * self._byte_cost, "crypto")
+        # counters tick per block via the schedule so a fault raised
+        # mid-extent leaves them exactly where the per-block path would
+        costs.add_post_call(
+            lambda: obs.counter_add("crypt.bytes_decrypted", bs)
+        )
+        ciphertext = self._device.read_blocks(block, count, costs)
+        return self._cipher.decrypt_extent(
+            self._sector_of(block), ciphertext, bs
+        )
+
+    def write_extent(
+        self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
+        costs = ExtentCosts() if costs is None else costs.clone()
+        bs = self.block_size
+        if self._clock is not None and self._byte_cost:
+            costs.add_pre(self._clock, bs * self._byte_cost, "crypto")
+        costs.add_pre_call(
+            lambda: obs.counter_add("crypt.bytes_encrypted", bs)
+        )
+        ciphertext = self._cipher.encrypt_extent(
+            self._sector_of(block), data, bs
+        )
+        self._device.write_blocks(block, ciphertext, costs)
 
     def discard(self, block: int) -> None:
         self._device.discard(block)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.blockdev.device import BlockDevice
+from typing import Optional
+
+from repro.blockdev.device import BlockDevice, ExtentCosts
 from repro.dm.core import Target
 from repro.errors import TableError
 
@@ -26,6 +28,16 @@ class LinearTarget(Target):
     def write(self, block: int, data: bytes) -> None:
         self._device.write_block(self._offset + block, data)
 
+    def read_extent(
+        self, block: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        return self._device.read_blocks(self._offset + block, count, costs)
+
+    def write_extent(
+        self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
+        self._device.write_blocks(self._offset + block, data, costs)
+
     def discard(self, block: int) -> None:
         self._device.discard(self._offset + block)
 
@@ -44,3 +56,20 @@ class ZeroTarget(Target):
 
     def write(self, block: int, data: bytes) -> None:
         pass
+
+    def read_extent(
+        self, block: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        if costs is not None and not costs.empty:
+            for _ in range(count):
+                costs.replay_pre()
+                costs.replay_post()
+        return b"\x00" * (self.block_size * count)
+
+    def write_extent(
+        self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
+        if costs is not None and not costs.empty:
+            for _ in range(len(data) // self.block_size):
+                costs.replay_pre()
+                costs.replay_post()

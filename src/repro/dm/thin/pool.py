@@ -22,7 +22,7 @@ from typing import Callable, List, Optional, Set
 
 from repro import obs
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice, recovery_io
+from repro.blockdev.device import BlockDevice, ExtentCosts, recovery_io
 from repro.crypto.rng import Rng
 from repro.dm.thin.allocation import make_allocator
 from repro.dm.thin.metadata import (
@@ -386,6 +386,101 @@ class ThinPool:
                 self._dummy_hook(self, record.vol_id)
             finally:
                 self._in_dummy_write = False
+
+    def read_extent(
+        self,
+        record: VolumeRecord,
+        vstart: int,
+        count: int,
+        costs: Optional[ExtentCosts] = None,
+    ) -> bytes:
+        """Read consecutive virtual blocks, batching contiguous mappings.
+
+        Runs whose virtual→physical mapping is contiguous go down as one
+        extent (with the lookup charge scheduled per block); holes and
+        mapping discontinuities split the request.
+        """
+        parts: List[bytes] = []
+        mappings = record.mappings
+        bs = self.block_size
+        lookup_s = self._costs.lookup_read_s
+        charged = self._clock is not None and lookup_s
+        i = 0
+        while i < count:
+            pblock = mappings.get(vstart + i)
+            if pblock is None:
+                if costs is not None:
+                    costs.replay_pre()
+                self._charge(lookup_s, "thin-lookup")
+                self.stats.reads_unmapped += 1
+                parts.append(b"\x00" * bs)
+                if costs is not None:
+                    costs.replay_post()
+                i += 1
+                continue
+            run = 1
+            while (
+                i + run < count
+                and mappings.get(vstart + i + run) == pblock + run
+            ):
+                run += 1
+            if costs is None and not charged:
+                plan = None
+            else:
+                plan = costs.clone() if costs is not None else ExtentCosts()
+                if charged:
+                    plan.add_pre(self._clock, lookup_s, "thin-lookup")
+            self.stats.reads_mapped += run
+            parts.append(self._data.read_blocks(pblock, run, plan))
+            i += run
+        return b"".join(parts)
+
+    def write_extent(
+        self,
+        record: VolumeRecord,
+        vstart: int,
+        data: bytes,
+        costs: Optional[ExtentCosts] = None,
+    ) -> None:
+        """Write consecutive virtual blocks, batching already-mapped runs.
+
+        Provisioning writes keep the exact per-block sequence (allocator
+        draws, provision charge, dummy-write hook firing) so the physical
+        layout, RNG stream and noise interleaving are identical to the
+        per-block path; only already-mapped contiguous runs batch.
+        """
+        bs = self.block_size
+        count = len(data) // bs
+        mappings = record.mappings
+        lookup_s = self._costs.lookup_write_s
+        charged = self._clock is not None and lookup_s
+        i = 0
+        while i < count:
+            vblock = vstart + i
+            pblock = mappings.get(vblock)
+            if pblock is None:
+                if costs is not None:
+                    costs.replay_pre()
+                self.write_mapped(record, vblock, data[i * bs : (i + 1) * bs])
+                if costs is not None:
+                    costs.replay_post()
+                i += 1
+                continue
+            run = 1
+            while (
+                i + run < count
+                and mappings.get(vstart + i + run) == pblock + run
+            ):
+                run += 1
+            if costs is None and not charged:
+                plan = None
+            else:
+                plan = costs.clone() if costs is not None else ExtentCosts()
+                if charged:
+                    plan.add_pre(self._clock, lookup_s, "thin-lookup")
+            self._data.write_blocks(pblock, data[i * bs : (i + run) * bs], plan)
+            self.stats.real_writes += run
+            i += run
 
     def discard_mapped(self, record: VolumeRecord, vblock: int) -> None:
         """Unmap a virtual block and free its data block."""

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.blockdev.device import BlockDevice
+from typing import Optional
+
+from repro.blockdev.device import BlockDevice, ExtentCosts
 from repro.dm.core import Target
 from repro.dm.thin.metadata import VolumeRecord
 from repro.dm.thin.pool import ThinPool
@@ -40,6 +42,16 @@ class ThinDevice(BlockDevice):
     def _write(self, block: int, data: bytes) -> None:
         self._pool.write_mapped(self._record, block, data)
 
+    def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        return self._pool.read_extent(self._record, start, count, costs)
+
+    def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        self._pool.write_extent(self._record, start, data, costs)
+
     def _discard(self, block: int) -> None:
         self._pool.discard_mapped(self._record, block)
 
@@ -60,6 +72,16 @@ class ThinTarget(Target):
 
     def write(self, block: int, data: bytes) -> None:
         self._device.write_block(block, data)
+
+    def read_extent(
+        self, block: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        return self._device.read_blocks(block, count, costs)
+
+    def write_extent(
+        self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
+        self._device.write_blocks(block, data, costs)
 
     def discard(self, block: int) -> None:
         self._device.discard(block)

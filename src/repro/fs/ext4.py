@@ -217,6 +217,30 @@ class Ext4Filesystem(Filesystem):
         else:
             self._device.discard(block)
 
+    def _dev_read_run(self, start: int, count: int) -> bytes:
+        """Read *count* consecutive device blocks, as one extent if possible.
+
+        With a journal capture active the per-block path is kept — each
+        block must consult the transaction individually.
+        """
+        if count == 1:
+            return self._dev_read(start)
+        if self._capture is not None:
+            return b"".join(self._dev_read(start + i) for i in range(count))
+        return self._device.read_blocks(start, count)
+
+    def _dev_write_run(self, start: int, data: bytes) -> None:
+        """Write consecutive device blocks, as one extent if possible."""
+        bs = self._bs
+        if len(data) == bs:
+            self._dev_write(start, data)
+            return
+        if self._capture is not None:
+            for i in range(len(data) // bs):
+                self._capture[start + i] = bytes(data[i * bs : (i + 1) * bs])
+            return
+        self._device.write_blocks(start, data)
+
     # -- lifecycle ----------------------------------------------------------------
 
     def format(self) -> None:
@@ -245,10 +269,7 @@ class Ext4Filesystem(Filesystem):
                 bbm[i >> 3] |= 1 << (i & 7)
             self._block_bitmaps[g] = bbm
             self._inode_bitmaps[g] = bytearray(self._bs)
-            for i in range(self._itb):
-                self._device.write_block(
-                    self._group_start(g) + 2 + i, zero
-                )
+            self._device.write_blocks(self._group_start(g) + 2, zero * self._itb)
             self._dirty_groups.add(g)
         self._mounted = True  # allow allocation during format
         root = self._allocate_inode(MODE_DIR)
@@ -403,13 +424,13 @@ class Ext4Filesystem(Filesystem):
                 # atomicity; counted so tests can size journals correctly
                 self.journal_overflows += 1
             self._journal_seq += 1
-            for i, (_, data) in enumerate(chunk):
-                self._device.write_block(self._journal_start + 1 + i, data)
+            payload = b"".join(d for _, d in chunk)
+            self._device.write_blocks(self._journal_start + 1, payload)
             head = _JHEAD.pack(
                 JOURNAL_MAGIC,
                 self._journal_seq,
                 len(chunk),
-                hashlib.sha256(b"".join(d for _, d in chunk)).digest(),
+                hashlib.sha256(payload).digest(),
             )
             head += struct.pack(f"<{len(chunk)}Q", *(b for b, _ in chunk))
             head += hashlib.sha256(head).digest()
@@ -420,10 +441,28 @@ class Ext4Filesystem(Filesystem):
             # Barrier: the journal must be durable before the checkpoint
             # starts overwriting live metadata in place.
             self._device.flush()
-            for block, data in chunk:
-                self._device.write_block(block, data)
+            self._checkpoint_chunk(chunk)
             obs.mark("ext4.checkpoint.done")
             self._device.flush()
+
+    def _checkpoint_chunk(self, chunk) -> None:
+        """Write (block, data) pairs in place, batching contiguous runs.
+
+        The pairs arrive sorted by block, so coalescing preserves the
+        exact per-block device write order.
+        """
+        run_start = 0
+        parts: List[bytes] = []
+        for block, data in chunk:
+            if parts and block == run_start + len(parts):
+                parts.append(data)
+            else:
+                if parts:
+                    self._device.write_blocks(run_start, b"".join(parts))
+                run_start = block
+                parts = [data]
+        if parts:
+            self._device.write_blocks(run_start, b"".join(parts))
 
     def _parse_journal_header(self, raw: bytes) -> Optional[tuple]:
         try:
@@ -468,15 +507,15 @@ class Ext4Filesystem(Filesystem):
                 self._journal_seq = 0
                 return
             seq, targets, data_sha = parsed
+            raw = self._device.read_blocks(self._journal_start + 1, len(targets))
             datas = [
-                self._device.read_block(self._journal_start + 1 + i)
+                raw[i * self._bs : (i + 1) * self._bs]
                 for i in range(len(targets))
             ]
             self._journal_seq = seq
-            if hashlib.sha256(b"".join(datas)).digest() != data_sha:
+            if hashlib.sha256(raw).digest() != data_sha:
                 return  # torn commit: discard
-            for block, data in zip(targets, datas):
-                self._device.write_block(block, data)
+            self._checkpoint_chunk(list(zip(targets, datas)))
             if targets:
                 self._device.flush()
             self.journal_replayed = len(targets)
@@ -648,6 +687,70 @@ class Ext4Filesystem(Filesystem):
         self._pointer_cache[block] = pointers
         self._dirty_pointers.add(block)
 
+    def _alloc_ready(self, goal: Optional[int]) -> bool:
+        """True when :meth:`_allocate_block` would succeed with no device I/O.
+
+        Mirrors the allocator's preferred-group logic: the goal's group
+        bitmap must already be cached and the first probed offset free, so
+        the allocation returns immediately without scanning into (possibly
+        uncached) other groups. The sequential-write common case — goal is
+        the block just past the previous allocation — satisfies this.
+        """
+        if goal is None or goal < 1:
+            return False
+        g = min((goal - 1) // self._bpg, self._groups - 1)
+        bitmap = self._block_bitmaps.get(g)
+        if bitmap is None:
+            return False
+        offset = max((goal - 1) % self._bpg, self._meta_per_group)
+        return offset < self._bpg and not self._bit(bitmap, offset)
+
+    def _map_ready(
+        self, inode: _Inode, index: int, allocate: bool, goal: Optional[int]
+    ) -> bool:
+        """True when :meth:`_map_block` is guaranteed device-I/O-free.
+
+        The extent write path may only defer data writes past a mapping
+        lookup when the lookup itself touches no device blocks (pointer
+        chain cached; any allocation memory-only) — otherwise the deferred
+        data I/O would reorder against the mapping I/O and perturb the
+        simulated clock. Not-ready blocks fall back to the classic
+        per-block step.
+        """
+        ppb = self._pointers_per_block
+        if index < NUM_DIRECT:
+            if inode.direct[index]:
+                return True
+            return (not allocate) or self._alloc_ready(goal)
+        index -= NUM_DIRECT
+        if index < ppb:
+            if inode.indirect == 0:
+                # a hole read is free; allocating the pointer block is not
+                return not allocate
+            pointers = self._pointer_cache.get(inode.indirect)
+            if pointers is None:
+                return False
+            if pointers[index]:
+                return True
+            return (not allocate) or self._alloc_ready(goal)
+        index -= ppb
+        if index >= ppb * ppb:
+            return False  # let the classic path raise NoSpaceError
+        if inode.double_indirect == 0:
+            return not allocate
+        level1 = self._pointer_cache.get(inode.double_indirect)
+        if level1 is None:
+            return False
+        l1_index, l2_index = divmod(index, ppb)
+        if level1[l1_index] == 0:
+            return not allocate
+        level2 = self._pointer_cache.get(level1[l1_index])
+        if level2 is None:
+            return False
+        if level2[l2_index]:
+            return True
+        return (not allocate) or self._alloc_ready(goal)
+
     def _map_block(
         self, inode: _Inode, index: int, allocate: bool, goal: Optional[int]
     ) -> int:
@@ -739,46 +842,100 @@ class Ext4Filesystem(Filesystem):
         end = min(offset + nbytes, inode.size)
         if offset >= end:
             return b""
-        out = bytearray()
+        out: List[bytes] = []
         pos = offset
+        # pending run of physically contiguous device blocks
+        run_start = 0
+        run_len = 0
+        run_skip = 0   # bytes to drop from the run's first block
+        run_take = 0   # payload bytes the run contributes
+
+        def flush_run() -> None:
+            nonlocal run_len
+            if run_len:
+                raw = self._dev_read_run(run_start, run_len)
+                out.append(raw[run_skip : run_skip + run_take])
+                run_len = 0
+
         while pos < end:
             index, within = divmod(pos, self._bs)
             take = min(self._bs - within, end - pos)
+            if not self._map_ready(inode, index, False, None):
+                # the lookup itself will read pointer blocks: issue the
+                # pending data reads first so device order is unchanged
+                flush_run()
             block = self._map_block(inode, index, allocate=False, goal=None)
             if block == 0:
-                out.extend(b"\x00" * take)
+                flush_run()
+                out.append(b"\x00" * take)
+            elif run_len and block == run_start + run_len and within == 0:
+                run_len += 1
+                run_take += take
             else:
-                out.extend(self._dev_read(block)[within : within + take])
+                flush_run()
+                run_start, run_len, run_skip, run_take = block, 1, within, take
             pos += take
-        return bytes(out)
+        flush_run()
+        return b"".join(out)
 
     def _write_range(self, inode: _Inode, offset: int, data: bytes) -> None:
+        bs = self._bs
         pos = offset
         cursor = 0
         last_block: Optional[int] = None
+        # pending run of physically contiguous full-block writes
+        run_start = 0
+        run_parts: List[bytes] = []
+
+        def flush_run() -> None:
+            if run_parts:
+                self._dev_write_run(run_start, b"".join(run_parts))
+                run_parts.clear()
+
         while cursor < len(data):
-            index, within = divmod(pos, self._bs)
-            take = min(self._bs - within, len(data) - cursor)
+            index, within = divmod(pos, bs)
+            take = min(bs - within, len(data) - cursor)
             goal = last_block + 1 if last_block is not None else None
-            # page-cache semantics: a freshly allocated page starts as
-            # zeros in memory, so a partial write to it pads with zeros —
-            # it must never read (and re-encrypt) stale device contents,
-            # which through dm-crypt would leak the write length as a
-            # zero tail on the medium
-            fresh = self._map_block(inode, index, allocate=False, goal=None) == 0
-            block = self._map_block(inode, index, allocate=True, goal=goal)
-            if within == 0 and take == self._bs:
-                self._dev_write(block, data[cursor : cursor + take])
-            else:
-                if fresh:
-                    raw = bytearray(self._bs)
+            full = within == 0 and take == bs
+            if (
+                full
+                and self._map_ready(inode, index, False, None)
+                and self._map_ready(inode, index, True, goal)
+            ):
+                # both lookups are device-I/O-free (allocation, if any, is
+                # memory-only), so the data write can be deferred into a run
+                block = self._map_block(inode, index, allocate=True, goal=goal)
+                chunk = data[cursor : cursor + take]
+                if run_parts and block == run_start + len(run_parts):
+                    run_parts.append(chunk)
                 else:
-                    raw = bytearray(self._dev_read(block))
-                raw[within : within + take] = data[cursor : cursor + take]
-                self._dev_write(block, bytes(raw))
+                    flush_run()
+                    run_start = block
+                    run_parts.append(chunk)
+            else:
+                flush_run()
+                # page-cache semantics: a freshly allocated page starts as
+                # zeros in memory, so a partial write to it pads with zeros —
+                # it must never read (and re-encrypt) stale device contents,
+                # which through dm-crypt would leak the write length as a
+                # zero tail on the medium
+                fresh = (
+                    self._map_block(inode, index, allocate=False, goal=None) == 0
+                )
+                block = self._map_block(inode, index, allocate=True, goal=goal)
+                if full:
+                    self._dev_write(block, data[cursor : cursor + take])
+                else:
+                    if fresh:
+                        raw = bytearray(bs)
+                    else:
+                        raw = bytearray(self._dev_read(block))
+                    raw[within : within + take] = data[cursor : cursor + take]
+                    self._dev_write(block, bytes(raw))
             last_block = block
             pos += take
             cursor += take
+        flush_run()
         if pos > inode.size:
             inode.size = pos
             self._mark_dirty(inode)

@@ -393,3 +393,72 @@ def test_device_behaves_like_dict_model(ops):
     for index in range(16):
         expected = block(model[index]) if index in model else b"\x00" * BS
         assert dev.read_block(index) == expected
+
+
+class TestExtentPath:
+    """Vectored read_blocks/write_blocks and the per-block baseline."""
+
+    def test_discard_restores_fill_pattern(self):
+        # regression: the dense fast path used to zero instead of refilling
+        for sparse in (False, True):
+            dev = RAMBlockDevice(4, fill=0xAB, sparse=sparse)
+            dev.write_block(1, block(7))
+            dev.discard(1)
+            assert dev.read_block(1) == b"\xab" * BS
+
+    def test_extent_roundtrip_matches_per_block(self):
+        dev = RAMBlockDevice(8, fill=0x11)
+        dev.write_blocks(2, block(1) + block(2) + block(3))
+        assert dev.read_blocks(0, 8) == b"".join(
+            dev.peek(i) for i in range(8)
+        )
+
+    def test_extent_out_of_range(self):
+        dev = RAMBlockDevice(4)
+        with pytest.raises(OutOfRangeError):
+            dev.read_blocks(2, 3)
+        with pytest.raises(OutOfRangeError):
+            dev.read_blocks(-1, 2)
+        with pytest.raises(OutOfRangeError):
+            dev.write_blocks(3, block(0) * 2)
+
+    def test_extent_stats_count_per_block(self):
+        dev = RAMBlockDevice(8)
+        dev.write_blocks(0, block(1) * 5)
+        dev.read_blocks(1, 3)
+        assert dev.stats.writes == 5
+        assert dev.stats.reads == 3
+        assert dev.stats.bytes_written == 5 * BS
+        assert dev.stats.bytes_read == 3 * BS
+
+    def test_peek_poke_extent_bypass_stats(self):
+        dev = RAMBlockDevice(4)
+        dev.poke_extent(1, block(5) + block(6))
+        assert dev.peek_extent(1, 2) == block(5) + block(6)
+        assert dev.stats.reads == 0
+        assert dev.stats.writes == 0
+
+    def test_per_block_baseline_same_result(self):
+        from repro.blockdev import per_block_baseline
+
+        dev = EMMCDevice(16, clock=SimClock(), latency=LatencyModel())
+        dev.write_blocks(0, block(9) * 8)
+        fast = dev.read_blocks(0, 8)
+        with per_block_baseline():
+            slow = dev.read_blocks(0, 8)
+        assert fast == slow
+
+    def test_readonly_view_rejects_extent_writes(self):
+        dev = RAMBlockDevice(4)
+        view = ReadOnlyView(dev)
+        assert view.read_blocks(0, 2) == block(0) * 2
+        with pytest.raises(ReadOnlyDeviceError):
+            view.write_blocks(0, block(1) * 2)
+
+    def test_subdevice_extent_maps_window(self):
+        base = RAMBlockDevice(10)
+        sub = SubDevice(base, 4, 4)
+        sub.write_blocks(1, block(3) + block(4))
+        assert base.peek(5) == block(3)
+        assert base.peek(6) == block(4)
+        assert sub.read_blocks(1, 2) == block(3) + block(4)

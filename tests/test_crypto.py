@@ -12,6 +12,7 @@ from repro.crypto import (
     FlashNoiseTRNG,
     JiffiesSource,
     Rng,
+    SectorCipher,
     constant_time_equal,
     derive_dummy_volume_index,
     derive_hidden_volume_index,
@@ -241,3 +242,72 @@ class TestFlashTRNG:
     def test_successive_extracts_differ(self):
         trng = FlashNoiseTRNG(Rng(0))
         assert trng.extract(32) != trng.extract(32)
+
+
+class TestBlake2CtrKeystream:
+    """Pin the keystream construction so refactors can't silently change it.
+
+    Chunk ``i`` of sector ``s`` must be
+    ``BLAKE2b(key=key, digest_size=64, data=s_le64 || i_le32)`` — any
+    optimization of the keystream generator (template hashers, counter
+    caches, extent batching) has to reproduce these exact bytes.
+    """
+
+    KEY = bytes(range(32))
+
+    def _reference_chunk(self, sector: int, counter: int) -> bytes:
+        import hashlib as _hashlib
+
+        return _hashlib.blake2b(
+            sector.to_bytes(8, "little") + counter.to_bytes(4, "little"),
+            key=self.KEY,
+            digest_size=64,
+        ).digest()
+
+    def test_keystream_matches_reference_construction(self):
+        cipher = Blake2Ctr(self.KEY)
+        ks = cipher._keystream(5, 200)
+        want = b"".join(self._reference_chunk(5, i) for i in range(4))[:200]
+        assert ks == want
+
+    def test_keystream_pinned_bytes(self):
+        ks = Blake2Ctr(self.KEY)._keystream(5, 64)
+        assert ks.hex() == (
+            "4d92ad57c1865111188867ba67ff7152"
+            "a8a15529078c36eed7844d8830dd7719"
+            "83740e0fdc63060956eacb4818996f57"
+            "e06cf0534cf8c8a095d9e62a2dd515db"
+        )
+
+    def test_encrypt_extent_matches_per_sector(self):
+        cipher = Blake2Ctr(self.KEY)
+        data = bytes(range(256)) * 32  # two 4 KiB units
+        unit = 4096
+        step = unit // 512
+        per_sector = b"".join(
+            cipher.encrypt_sector(40 + u * step, data[u * unit : (u + 1) * unit])
+            for u in range(2)
+        )
+        assert cipher.encrypt_extent(40, data, unit) == per_sector
+        assert cipher.decrypt_extent(40, per_sector, unit) == data
+
+    def test_encrypt_extent_small_units(self):
+        # 512-byte units (step of one sector): batched path, still exact
+        cipher = Blake2Ctr(self.KEY)
+        data = b"ab" * 1024  # four 512-byte units
+        per_sector = b"".join(
+            cipher.encrypt_sector(7 + u, data[u * 512 : (u + 1) * 512])
+            for u in range(4)
+        )
+        assert cipher.encrypt_extent(7, data, 512) == per_sector
+
+    def test_encrypt_extent_odd_unit_falls_back(self):
+        # unit not a multiple of the 64-byte chunk: generic per-unit path
+        cipher = Blake2Ctr(self.KEY)
+        data = b"cd" * 144  # three 96-byte units
+        generic = SectorCipher.encrypt_extent(cipher, 3, data, 96)
+        assert cipher.encrypt_extent(3, data, 96) == generic
+
+    def test_extent_length_validated(self):
+        with pytest.raises(ValueError):
+            Blake2Ctr(self.KEY).encrypt_extent(0, b"x" * 100, 4096)

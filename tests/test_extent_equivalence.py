@@ -1,0 +1,190 @@
+"""Extent path vs per-block path equivalence (the fidelity invariant).
+
+The extent fast path must be invisible to the simulation: identical
+device images, identical simulated-clock readings and identical IOStats
+at every layer — only wall-clock time may change. These properties drive
+random op mixes through two identically-seeded stacks, one using the
+extent path and one forced through the legacy per-block decomposition
+via :func:`per_block_baseline`, and require bit-exact agreement.
+"""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blockdev import (
+    EMMCDevice,
+    LatencyModel,
+    RAMBlockDevice,
+    SimClock,
+    per_block_baseline,
+)
+from repro.blockdev.trace import TracingDevice
+from repro.crypto.rng import Rng
+from repro.dm import create_crypt_device
+from repro.dm.crypt import NEXUS4_CRYPTO_BYTE_COST_S
+from repro.dm.thin import ThinPool
+from repro.dm.thin.pool import ThinCosts
+from repro.fs.ext4 import Ext4Filesystem
+
+BS = 4096
+VOLUME_BLOCKS = 64
+LATENCY = LatencyModel(name="equiv-test")  # non-zero costs + random penalties
+THIN_COSTS = ThinCosts(lookup_read_s=30e-6, lookup_write_s=2e-6,
+                       provision_s=6e-6)
+
+
+def _payload(tag: int, count: int) -> bytes:
+    return bytes([(tag * 37 + i) % 251 for i in range(BS)]) * count
+
+
+def _build_block_stack(seed: int):
+    """eMMC <- thin pool (random alloc + dummy hook) <- dm-crypt."""
+    clock = SimClock()
+    emmc = EMMCDevice(
+        192, clock=clock, latency=LATENCY, jitter=0.2, jitter_rng=Rng(seed)
+    )
+    pool = ThinPool.format(
+        RAMBlockDevice(16), emmc,
+        allocation="random", rng=Rng(seed + 1),
+        clock=clock, costs=THIN_COSTS,
+    )
+    pool.create_thin(1, VOLUME_BLOCKS)
+    pool.create_thin(2, VOLUME_BLOCKS)
+    noise_rng = Rng(seed + 2)
+
+    def hook(p, vol_id):
+        p.append_noise(2, noise_rng.random_bytes(BS), noise_rng)
+
+    pool.set_dummy_write_hook(hook)
+    crypt = create_crypt_device(
+        "c", pool.get_thin(1), key=bytes(range(32)), clock=clock,
+        crypto_byte_cost_s=NEXUS4_CRYPTO_BYTE_COST_S,
+    )
+    return clock, emmc, pool, crypt
+
+
+def _run_block_ops(stack, ops):
+    clock, emmc, pool, crypt = stack
+    reads = []
+    for tag, (is_write, start, count) in enumerate(ops):
+        count = min(count, VOLUME_BLOCKS - start)
+        if count <= 0:
+            continue
+        if is_write:
+            crypt.write_blocks(start, _payload(tag, count))
+        else:
+            reads.append(crypt.read_blocks(start, count))
+    return reads
+
+
+def _block_signature(stack):
+    clock, emmc, pool, crypt = stack
+    return (
+        clock.now,
+        hashlib.sha256(emmc.raw_bytes()).hexdigest(),
+        emmc.stats.as_dict(),
+        crypt.stats.as_dict(),
+        vars(pool.stats),
+    )
+
+
+op_lists = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, VOLUME_BLOCKS - 1),
+        st.integers(1, 24),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), ops=op_lists)
+def test_block_stack_extent_equivalence(seed, ops):
+    """crypt-over-thin-over-eMMC: extent path == per-block path, bit-exact."""
+    fast = _build_block_stack(seed)
+    fast_reads = _run_block_ops(fast, ops)
+
+    slow = _build_block_stack(seed)
+    with per_block_baseline():
+        slow_reads = _run_block_ops(slow, ops)
+
+    assert fast_reads == slow_reads
+    assert _block_signature(fast) == _block_signature(slow)
+
+
+def _build_fs_stack(seed: int, journal: bool):
+    """ext4 <- dm-crypt <- traced eMMC."""
+    clock = SimClock()
+    emmc = EMMCDevice(
+        256, clock=clock, latency=LATENCY, jitter=0.1, jitter_rng=Rng(seed)
+    )
+    traced = TracingDevice(emmc, clock=clock)
+    crypt = create_crypt_device(
+        "c", traced, key=bytes(reversed(range(32))), clock=clock,
+        crypto_byte_cost_s=NEXUS4_CRYPTO_BYTE_COST_S,
+    )
+    fs = Ext4Filesystem(crypt, journal=journal)
+    fs.format()
+    fs.mount()
+    return clock, emmc, traced, crypt, fs
+
+
+def _run_fs_ops(stack, ops):
+    clock, emmc, traced, crypt, fs = stack
+    reads = []
+    for tag, (file_idx, offset, size, do_flush) in enumerate(ops):
+        name = f"/f{file_idx}"
+        handle = fs.open(name, "a")
+        handle.seek(offset)
+        handle.write((_payload(tag, 1) * (size // BS + 1))[:size])
+        handle.close()
+        if do_flush:
+            fs.flush()
+    for file_idx in sorted({f for f, _, _, _ in ops}):
+        handle = fs.open(f"/f{file_idx}", "r")
+        reads.append(handle.read())
+        handle.close()
+    fs.unmount()
+    return reads
+
+
+def _fs_signature(stack):
+    clock, emmc, traced, crypt, fs = stack
+    return (
+        clock.now,
+        hashlib.sha256(emmc.raw_bytes()).hexdigest(),
+        emmc.stats.as_dict(),
+        traced.stats.as_dict(),
+        crypt.stats.as_dict(),
+        [(e.op, e.block, e.at) for e in traced.events],
+    )
+
+
+fs_op_lists = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(0, 40_000),
+        st.integers(1, 60_000),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), journal=st.booleans(), ops=fs_op_lists)
+def test_ext4_extent_equivalence(seed, journal, ops):
+    """ext4-over-crypt-over-eMMC (traced): extent path == per-block path."""
+    fast = _build_fs_stack(seed, journal)
+    fast_reads = _run_fs_ops(fast, ops)
+
+    slow = _build_fs_stack(seed, journal)
+    with per_block_baseline():
+        slow_reads = _run_fs_ops(slow, ops)
+
+    assert fast_reads == slow_reads
+    assert _fs_signature(fast) == _fs_signature(slow)
