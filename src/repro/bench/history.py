@@ -1,0 +1,317 @@
+"""Bench-history regression harness.
+
+Two pieces:
+
+* **History**: :func:`append_history` folds a ``BENCH_<experiment>.json``
+  payload into ``benchmarks/results/history.jsonl`` — one JSON line per
+  (experiment, seed, git SHA) with the flattened numeric results. The
+  records carry no wall-clock timestamps; identity is the schema version,
+  the experiment's seed and the commit (``REPRO_GIT_SHA`` in CI), so
+  re-appending an unchanged payload is a no-op and the file never
+  accumulates duplicates.
+
+* **Compare**: :func:`compare_dirs` diffs two directories of BENCH files
+  metric by metric under per-experiment tolerance bands. Deterministic
+  sim-clock experiments must reproduce essentially bit-for-bit (tight
+  band); wall-clock measurements (the hotpath microbench) swing with
+  machine load and get a loose band. ``repro bench compare`` exits
+  non-zero when any metric leaves its band, which is the CI regression
+  gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs import SCHEMA_VERSION
+
+#: One JSON record per line; lives next to the BENCH files it summarizes.
+HISTORY_FILE = "history.jsonl"
+
+#: Version of the history record layout (independent of the BENCH schema).
+HISTORY_SCHEMA_VERSION = 1
+
+#: Relative band for deterministic sim-clock experiments: regeneration at
+#: the same seed must reproduce the numbers exactly, so anything beyond
+#: float-noise is a real regression.
+TIGHT_TOLERANCE = 1e-9
+
+#: Relative band for wall-clock measurements, which vary run to run with
+#: machine load and CPU frequency scaling.
+LOOSE_TOLERANCE = 0.60
+
+#: Experiments whose BENCH metrics are wall-clock measurements.
+WALL_CLOCK_EXPERIMENTS = frozenset({"hotpath"})
+
+#: Absolute slack under which a delta is never a regression (guards the
+#: ``baseline == 0`` relative-delta singularity for both bands).
+ABSOLUTE_FLOOR = 1e-12
+
+
+def tolerance_for(experiment: str) -> float:
+    """The relative tolerance band for *experiment*'s metrics."""
+    if experiment in WALL_CLOCK_EXPERIMENTS:
+        return LOOSE_TOLERANCE
+    return TIGHT_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
+# Flattening
+# ---------------------------------------------------------------------------
+
+
+def flatten_numeric(value: object, prefix: str = "") -> Dict[str, float]:
+    """All numeric leaves of a JSON value as ``dotted.path -> float``.
+
+    Booleans are skipped (they are flags, not measurements); list elements
+    are addressed by index so row tables keep a stable key per cell.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        if not math.isnan(value):
+            out[prefix or "value"] = float(value)
+    elif isinstance(value, Mapping):
+        for key in sorted(value):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value[key], path))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            out.update(flatten_numeric(item, f"{prefix}[{i}]"))
+    return out
+
+
+def experiment_metrics(payload: Mapping[str, object]) -> Dict[str, float]:
+    """The comparable metrics of a BENCH payload.
+
+    Full payloads carry their experiment numbers under ``results``; legacy
+    flat files (the hotpath microbench) *are* their results.
+    """
+    results = payload.get("results", payload)
+    return flatten_numeric(results)
+
+
+# ---------------------------------------------------------------------------
+# History
+# ---------------------------------------------------------------------------
+
+
+def history_record(
+    payload: Mapping[str, object],
+    experiment: Optional[str] = None,
+    git_sha: Optional[str] = None,
+) -> Dict[str, object]:
+    """One ``history.jsonl`` record for a BENCH payload.
+
+    Deterministic by construction: the record is keyed by schema version,
+    seed and commit, never by wall-clock time. *git_sha* defaults to the
+    ``REPRO_GIT_SHA`` environment variable (set by CI), else ``None``.
+    """
+    if experiment is None:
+        experiment = str(payload.get("experiment", "unknown"))
+    if git_sha is None:
+        git_sha = os.environ.get("REPRO_GIT_SHA")
+    params = payload.get("params")
+    seed = params.get("seed") if isinstance(params, Mapping) else None
+    return {
+        "history_schema": HISTORY_SCHEMA_VERSION,
+        "schema_version": payload.get("schema_version", SCHEMA_VERSION),
+        "experiment": experiment,
+        "seed": seed,
+        "git_sha": git_sha,
+        "metrics": experiment_metrics(payload),
+    }
+
+
+def load_history(directory) -> List[Dict[str, object]]:
+    """All records of ``history.jsonl`` under *directory* (may be empty)."""
+    path = pathlib.Path(directory) / HISTORY_FILE
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def append_history(
+    directory,
+    payload: Mapping[str, object],
+    experiment: Optional[str] = None,
+    git_sha: Optional[str] = None,
+) -> bool:
+    """Append *payload*'s history record under *directory*; dedupe.
+
+    Returns ``True`` if a record was appended, ``False`` if an identical
+    record (same experiment/seed/sha/metrics) is already present.
+    """
+    record = history_record(payload, experiment=experiment, git_sha=git_sha)
+    existing = load_history(directory)
+    if record in existing:
+        return False
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with (out_dir / HISTORY_FILE).open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Compare
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current comparison."""
+
+    experiment: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: float
+
+    @property
+    def rel_delta(self) -> float:
+        """Relative change vs the baseline (``inf`` when only one side)."""
+        if self.baseline is None or self.current is None:
+            return math.inf
+        diff = self.current - self.baseline
+        if abs(diff) <= ABSOLUTE_FLOOR:
+            return 0.0
+        if self.baseline == 0.0:
+            return math.inf
+        return diff / abs(self.baseline)
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.rel_delta) <= self.tolerance
+
+
+@dataclass
+class CompareReport:
+    """The outcome of comparing two BENCH directories."""
+
+    deltas: List[MetricDelta]
+    missing_files: List[str]
+    schema_mismatches: List[str]
+    files_checked: int
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if not d.ok]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.regressions
+            and not self.missing_files
+            and not self.schema_mismatches
+        )
+
+
+def compare_payloads(
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    experiment: str,
+    tolerance: Optional[float] = None,
+) -> List[MetricDelta]:
+    """Metric-by-metric deltas between two payloads of one experiment.
+
+    Metrics present on only one side come back with the other side
+    ``None`` (never ``ok``) — a silently vanished metric is a regression
+    of the bench itself.
+    """
+    if tolerance is None:
+        tolerance = tolerance_for(experiment)
+    base = experiment_metrics(baseline)
+    cur = experiment_metrics(current)
+    deltas = []
+    for name in sorted(set(base) | set(cur)):
+        deltas.append(
+            MetricDelta(
+                experiment=experiment,
+                metric=name,
+                baseline=base.get(name),
+                current=cur.get(name),
+                tolerance=tolerance,
+            )
+        )
+    return deltas
+
+
+def _experiment_of(path: pathlib.Path) -> str:
+    return path.stem[len("BENCH_"):]
+
+
+def compare_dirs(baseline_dir, current_dir) -> CompareReport:
+    """Compare every ``BENCH_*.json`` of *baseline_dir* against *current_dir*.
+
+    Files that exist only in the current directory are new benchmarks, not
+    regressions, and are ignored; files that exist only in the baseline
+    are reported as missing.
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    current_dir = pathlib.Path(current_dir)
+    deltas: List[MetricDelta] = []
+    missing: List[str] = []
+    mismatches: List[str] = []
+    checked = 0
+    for base_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        cur_path = current_dir / base_path.name
+        if not cur_path.exists():
+            missing.append(base_path.name)
+            continue
+        baseline = json.loads(base_path.read_text())
+        current = json.loads(cur_path.read_text())
+        experiment = _experiment_of(base_path)
+        base_schema = baseline.get("schema_version")
+        cur_schema = current.get("schema_version")
+        if base_schema != cur_schema:
+            mismatches.append(
+                f"{base_path.name}: schema_version {base_schema!r} -> "
+                f"{cur_schema!r}"
+            )
+            continue
+        deltas.extend(compare_payloads(baseline, current, experiment))
+        checked += 1
+    return CompareReport(
+        deltas=deltas,
+        missing_files=missing,
+        schema_mismatches=mismatches,
+        files_checked=checked,
+    )
+
+
+def render_compare(report: CompareReport) -> str:
+    """Human-readable comparison summary (regressions only, then verdict)."""
+    lines: List[str] = []
+    for name in report.missing_files:
+        lines.append(f"MISSING  {name}: present in baseline, absent now")
+    for note in report.schema_mismatches:
+        lines.append(f"SCHEMA   {note}")
+    for delta in report.regressions:
+        if delta.baseline is None:
+            detail = f"new metric (current={delta.current:g})"
+        elif delta.current is None:
+            detail = f"metric vanished (baseline={delta.baseline:g})"
+        else:
+            detail = (
+                f"{delta.baseline:g} -> {delta.current:g} "
+                f"({delta.rel_delta:+.2%}, band ±{delta.tolerance:g} rel)"
+            )
+        lines.append(f"REGRESS  {delta.experiment}.{delta.metric}: {detail}")
+    in_band = len(report.deltas) - len(report.regressions)
+    lines.append(
+        f"{report.files_checked} file(s) compared, {in_band} metric(s) "
+        f"in band, {len(report.regressions)} regression(s)"
+    )
+    lines.append("OK" if report.ok else "FAIL")
+    return "\n".join(lines)

@@ -21,6 +21,15 @@ from repro.errors import (
     ReadOnlyDeviceError,
 )
 
+
+def _deep_span(name: str, **attrs):
+    """Lazy ``repro.obs.deep_span`` — device.py sits below repro.obs in the
+    import graph (obs' crash-point spine imports this module), so the obs
+    package cannot be imported at module load time."""
+    from repro import obs
+
+    return obs.deep_span(name, **attrs)
+
 #: Default logical block size for the stack (matches ext4 and dm-thin).
 DEFAULT_BLOCK_SIZE = 4096
 
@@ -514,20 +523,24 @@ class RAMBlockDevice(BlockDevice):
     def _read_extent(
         self, start: int, count: int, costs: Optional[ExtentCosts]
     ) -> bytes:
-        if costs is not None and not costs.empty:
-            for _ in range(count):
-                costs.replay_pre()
-                costs.replay_post()
-        return self._copy_out(start, count)
+        with _deep_span("ram.read_extent", blocks=count):
+            if costs is not None and not costs.empty:
+                for _ in range(count):
+                    costs.replay_pre()
+                    costs.replay_post()
+            return self._copy_out(start, count)
 
     def _write_extent(
         self, start: int, data: bytes, costs: Optional[ExtentCosts]
     ) -> None:
-        if costs is not None and not costs.empty:
-            for _ in range(len(data) // self._block_size):
-                costs.replay_pre()
-                costs.replay_post()
-        self._copy_in(start, data)
+        with _deep_span(
+            "ram.write_extent", blocks=len(data) // self._block_size
+        ):
+            if costs is not None and not costs.empty:
+                for _ in range(len(data) // self._block_size):
+                    costs.replay_pre()
+                    costs.replay_post()
+            self._copy_in(start, data)
 
     def peek_extent(self, start: int, count: int) -> bytes:
         return self._copy_out(start, count)

@@ -57,22 +57,34 @@ class EMMCDevice(RAMBlockDevice):
         return cost * scale
 
     def _read(self, block: int) -> bytes:
-        sequential = self._last_read_end == block
-        self._last_read_end = block + 1
-        cost = self._jittered(self.latency.read_cost(self.block_size, sequential))
-        self.clock.advance(cost, "emmc-read")
-        obs.observe_latency("emmc.read", cost)
-        return super()._read(block)
+        with obs.deep_span("emmc.read", clock=self.clock):
+            sequential = self._last_read_end == block
+            self._last_read_end = block + 1
+            cost = self._jittered(
+                self.latency.read_cost(self.block_size, sequential)
+            )
+            self.clock.advance(cost, "emmc-read")
+            obs.observe_latency("emmc.read", cost)
+            return super()._read(block)
 
     def _write(self, block: int, data: bytes) -> None:
-        sequential = self._last_write_end == block
-        self._last_write_end = block + 1
-        cost = self._jittered(self.latency.write_cost(self.block_size, sequential))
-        self.clock.advance(cost, "emmc-write")
-        obs.observe_latency("emmc.write", cost)
-        super()._write(block, data)
+        with obs.deep_span("emmc.write", clock=self.clock):
+            sequential = self._last_write_end == block
+            self._last_write_end = block + 1
+            cost = self._jittered(
+                self.latency.write_cost(self.block_size, sequential)
+            )
+            self.clock.advance(cost, "emmc-write")
+            obs.observe_latency("emmc.write", cost)
+            super()._write(block, data)
 
     def _read_extent(
+        self, start: int, count: int, costs: Optional[ExtentCosts]
+    ) -> bytes:
+        with obs.deep_span("emmc.read_extent", clock=self.clock, blocks=count):
+            return self._read_extent_impl(start, count, costs)
+
+    def _read_extent_impl(
         self, start: int, count: int, costs: Optional[ExtentCosts]
     ) -> bytes:
         # Only the first block of the extent can pay the random-access
@@ -113,6 +125,16 @@ class EMMCDevice(RAMBlockDevice):
         return self._copy_out(start, count)
 
     def _write_extent(
+        self, start: int, data: bytes, costs: Optional[ExtentCosts]
+    ) -> None:
+        with obs.deep_span(
+            "emmc.write_extent",
+            clock=self.clock,
+            blocks=len(data) // self.block_size,
+        ):
+            self._write_extent_impl(start, data, costs)
+
+    def _write_extent_impl(
         self, start: int, data: bytes, costs: Optional[ExtentCosts]
     ) -> None:
         sequential = self._last_write_end == start

@@ -11,28 +11,40 @@ Usage::
     python -m repro workload [--personality NAME] [--trace-out FILE]
     python -m repro replay FILE [--setting NAME]
     python -m repro fleet [--devices N] [--processes N]
-    python -m repro trace
+    python -m repro trace [--format chrome] [--out FILE]
     python -m repro metrics
+    python -m repro profile [--workload NAME] [--wall] [--out DIR]
+    python -m repro flame [--workload NAME] [--out FILE]
+    python -m repro bench history [--results-dir DIR]
+    python -m repro bench compare --baseline DIR [--current DIR]
     python -m repro all
 
 Every command prints the paper-style table for its experiment, computed on
 the simulated stack, and writes a schema-versioned
 ``BENCH_<experiment>.json`` with the observability telemetry — per-phase
 span durations, latency percentiles and deniability gauges — into
-``--json-dir`` (default: the current directory). ``trace`` and ``metrics``
-run a small end-to-end PDE session under observation and print the span
-tree / metric tables. The workload commands drive app-shaped traffic
-(``repro workload`` records a trace, ``repro replay`` re-drives one on any
-stack, ``repro fleet`` runs N simulated phones in parallel); see
-docs/workloads.md. Commands building small stacks directly share the
-``--userdata-mib`` flag for the simulated userdata partition size. See
-EXPERIMENTS.md for the paper-vs-measured record and docs/observability.md
-for the telemetry guide.
+``--json-dir`` (default: ``benchmarks/results``, the committed baseline
+directory). ``trace`` and ``metrics`` run a small end-to-end PDE session
+under observation and print the span tree / metric tables; ``trace
+--format chrome`` exports the same session as a Chrome trace-event JSON
+for ui.perfetto.dev. ``profile`` and ``flame`` run a deep-instrumented
+session or personality workload and emit per-layer time attribution /
+folded flamegraph stacks. ``bench history`` folds BENCH payloads into
+``history.jsonl``; ``bench compare`` diffs two results directories under
+per-experiment tolerance bands and exits non-zero on regression. The
+workload commands drive app-shaped traffic (``repro workload`` records a
+trace, ``repro replay`` re-drives one on any stack, ``repro fleet`` runs
+N simulated phones in parallel); see docs/workloads.md. Commands building
+small stacks directly share the ``--userdata-mib`` flag for the simulated
+userdata partition size. See EXPERIMENTS.md for the paper-vs-measured
+record and docs/observability.md for the telemetry guide.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -290,16 +302,24 @@ def _cmd_crashsim(args: argparse.Namespace) -> None:
 
 
 def _observed_session(
-    seed: int, userdata_blocks: int = 4096
+    seed: int,
+    userdata_blocks: int = 4096,
+    deep: bool = False,
+    wall: bool = False,
 ) -> obs.Recorder:
     """A small end-to-end PDE session under observation.
 
     Initialize, boot public, write files, fast-switch to the hidden mode,
     write a hidden file, run GC, sync — exercising every instrumented
     layer so the resulting span tree and metric tables are representative.
+    *deep* enables the fine-grained per-extent/per-crypto spans; *wall*
+    additionally captures wall-clock timestamps for each span.
     """
-    with obs.observe() as recorder:
+    with obs.observe(deep=deep, wall=wall) as recorder:
         phone = Phone(seed=seed, userdata_blocks=userdata_blocks)
+        # default clock for the clock-less spans (ext4 and friends), so
+        # the whole tree shares the phone's sim timeline
+        recorder.clock = phone.clock
         system = MobiCealSystem(phone, MobiCealConfig(num_volumes=4))
         phone.framework.power_on()
         system.initialize("decoy", hidden_passwords=("hidden",))
@@ -321,6 +341,20 @@ def _observed_session(
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
+    if args.format == "chrome":
+        # deep spans make the exported timeline worth looking at
+        recorder = _observed_session(
+            args.seed, _userdata_blocks(args), deep=True
+        )
+        text = obs.render_chrome_trace(recorder, "sim")
+        if args.out:
+            path = pathlib.Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"[chrome trace: {path}] (open in ui.perfetto.dev)")
+        else:
+            print(text, end="")
+        return
     recorder = _observed_session(args.seed, _userdata_blocks(args))
     print("Span tree (simulated time)")
     print(obs.render_span_tree(recorder, max_children=args.max_children))
@@ -332,6 +366,148 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 def _cmd_metrics(args: argparse.Namespace) -> None:
     recorder = _observed_session(args.seed, _userdata_blocks(args))
     print(obs.render_metrics(recorder))
+
+
+# ---------------------------------------------------------------------------
+# Profiling commands: profile / flame
+# ---------------------------------------------------------------------------
+
+#: The built-in end-to-end PDE session, as a profiling workload name.
+SESSION_WORKLOAD = "session"
+
+
+def _profiled_recorder(args: argparse.Namespace) -> obs.Recorder:
+    """Run the selected workload under deep observation.
+
+    ``session`` is the same end-to-end PDE session ``repro trace`` uses;
+    any other name is a workload personality driven on the ``--setting``
+    stack (the stack/RNG derivation matches ``repro workload``, so the
+    sim timeline of a profile is the timeline of the plain run).
+    """
+    wall = getattr(args, "wall", False)
+    if args.workload == SESSION_WORKLOAD:
+        return _observed_session(
+            args.seed, _userdata_blocks(args), deep=True, wall=wall
+        )
+    from repro.crypto.rng import Rng
+    from repro.workload import run_personality
+    from repro.bench.stacks import build_fig4_stack
+
+    with obs.observe(deep=True, wall=wall) as recorder:
+        stack = build_fig4_stack(
+            args.setting,
+            seed=args.seed,
+            userdata_blocks=_userdata_blocks(args),
+        )
+        recorder.clock = stack.clock
+        run_personality(
+            args.workload,
+            stack.fs,
+            stack.clock,
+            Rng(args.seed).fork(f"workload/{args.workload}"),
+            ops=args.ops,
+            content_seed=args.seed,
+            record=False,
+            stats_device=stack.phone.userdata,
+        )
+        if stack.system is not None:
+            obs.record_deniability_gauges(
+                recorder.metrics,
+                pool=stack.system.pool,
+                allocation=stack.system.config.allocation,
+            )
+    return recorder
+
+
+def _write_profile_artifacts(
+    recorder: obs.Recorder, out_dir: pathlib.Path, wall: bool
+) -> List[pathlib.Path]:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    timelines = ["sim"] + (["wall"] if wall else [])
+    written = []
+    for timeline in timelines:
+        suffix = "" if timeline == "sim" else f".{timeline}"
+        trace_path = out_dir / f"trace{suffix}.chrome.json"
+        trace_path.write_text(obs.render_chrome_trace(recorder, timeline))
+        folded_path = out_dir / f"stacks{suffix}.folded"
+        folded_path.write_text(
+            obs.render_folded(obs.folded_stacks(recorder, timeline))
+        )
+        attr_path = out_dir / f"attribution{suffix}.json"
+        attr_path.write_text(
+            json.dumps(
+                obs.attribution(recorder, timeline), indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+        written += [trace_path, folded_path, attr_path]
+    return written
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    recorder = _profiled_recorder(args)
+    print(f"Per-layer time attribution — workload {args.workload!r} "
+          "(simulated clock)")
+    print(obs.render_attribution(obs.attribution(recorder, "sim")))
+    if args.wall:
+        print()
+        print("Per-layer time attribution (wall clock)")
+        print(obs.render_attribution(obs.attribution(recorder, "wall")))
+    if args.out:
+        written = _write_profile_artifacts(
+            recorder, pathlib.Path(args.out), args.wall
+        )
+        for path in written:
+            print(f"[profile artifact: {path}]")
+
+
+def _cmd_flame(args: argparse.Namespace) -> None:
+    args.wall = args.timeline == "wall"
+    recorder = _profiled_recorder(args)
+    text = obs.render_folded(obs.folded_stacks(recorder, args.timeline))
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"[folded stacks: {path}] (feed to flamegraph.pl or speedscope)")
+    else:
+        print(text, end="")
+
+
+# ---------------------------------------------------------------------------
+# Bench-history commands: bench history / bench compare
+# ---------------------------------------------------------------------------
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> None:
+    from repro.bench import append_history
+
+    results_dir = pathlib.Path(args.results_dir)
+    bench_files = sorted(results_dir.glob("BENCH_*.json"))
+    if not bench_files:
+        raise SystemExit(
+            f"repro bench history: no BENCH_*.json under {results_dir}"
+        )
+    appended = 0
+    for path in bench_files:
+        payload = json.loads(path.read_text())
+        experiment = path.stem[len("BENCH_"):]
+        if append_history(results_dir, payload, experiment=experiment):
+            appended += 1
+    print(
+        f"history: {appended} new record(s), "
+        f"{len(bench_files) - appended} unchanged "
+        f"({results_dir / 'history.jsonl'})"
+    )
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> None:
+    from repro.bench import compare_dirs, render_compare
+
+    report = compare_dirs(args.baseline, args.current)
+    print(render_compare(report))
+    if not report.ok:
+        raise SystemExit(1)
 
 
 # ---------------------------------------------------------------------------
@@ -456,8 +632,9 @@ def _cmd_all(args: argparse.Namespace) -> None:
 
 def _add_json_dir(p: argparse.ArgumentParser) -> None:
     p.add_argument(
-        "--json-dir", default=".",
-        help="directory for the BENCH_<experiment>.json telemetry file",
+        "--json-dir", default="benchmarks/results",
+        help="directory for the BENCH_<experiment>.json telemetry file "
+        "(default: benchmarks/results, the committed baseline)",
     )
 
 
@@ -605,6 +782,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-children", type=int, default=12,
         help="children shown per span before folding",
     )
+    p.add_argument(
+        "--format", choices=["tree", "chrome"], default="tree",
+        help="tree = indented span tree; chrome = trace-event JSON for "
+        "ui.perfetto.dev (deep spans enabled)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the chrome trace to FILE instead of stdout",
+    )
     _add_userdata_mib(p)
     p.set_defaults(func=_cmd_trace)
 
@@ -613,6 +799,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_userdata_mib(p)
     p.set_defaults(func=_cmd_metrics)
+
+    def _add_profile_workload(p: argparse.ArgumentParser) -> None:
+        from repro.workload import PERSONALITIES
+        from repro.bench.stacks import FIG4_SETTINGS as settings
+
+        p.add_argument(
+            "--workload",
+            choices=[SESSION_WORKLOAD] + sorted(PERSONALITIES),
+            default=SESSION_WORKLOAD,
+            help="what to profile: the end-to-end PDE session or a "
+            "workload personality",
+        )
+        p.add_argument(
+            "--setting", choices=list(settings), default="mc-p",
+            help="stack for personality workloads",
+        )
+        p.add_argument("--ops", type=int, default=150)
+        _add_userdata_mib(p)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-layer time attribution of a deep-instrumented run",
+    )
+    _add_profile_workload(p)
+    p.add_argument(
+        "--wall", action="store_true",
+        help="also capture wall-clock timestamps and print the wall "
+        "attribution",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write chrome trace / folded stacks / attribution JSON "
+        "under DIR",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "flame", help="folded flamegraph stacks of a deep-instrumented run"
+    )
+    _add_profile_workload(p)
+    p.add_argument(
+        "--timeline", choices=["sim", "wall"], default="sim",
+        help="clock for the stack weights (wall implies capturing it)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the folded stacks to FILE instead of stdout",
+    )
+    p.set_defaults(func=_cmd_flame)
+
+    p = sub.add_parser("bench", help="bench-history regression utilities")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bench_sub.add_parser(
+        "history",
+        help="fold BENCH_*.json payloads into history.jsonl (deduped)",
+    )
+    pb.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory holding the BENCH files and the history",
+    )
+    pb.set_defaults(func=_cmd_bench_history)
+    pb = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH directories under per-experiment tolerance "
+        "bands; exit 1 on regression",
+    )
+    pb.add_argument(
+        "--baseline", required=True,
+        help="directory of baseline BENCH_*.json files",
+    )
+    pb.add_argument(
+        "--current", default="benchmarks/results",
+        help="directory of freshly generated BENCH_*.json files",
+    )
+    pb.set_defaults(func=_cmd_bench_compare)
 
     p = sub.add_parser("all", help="run every experiment")
     p.add_argument("--trials", type=int, default=2)

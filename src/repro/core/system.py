@@ -133,6 +133,11 @@ class MobiCealSystem:
     def _charge(self, seconds: float, reason: str) -> None:
         self.phone.clock.advance(seconds, reason)
 
+    def _charge_kdf(self, reason: str) -> None:
+        """Charge one PBKDF2 derivation under a stable profiling span."""
+        with obs.deep_span("crypto.pbkdf2", clock=self.phone.clock):
+            self._charge(self.phone.profile.pbkdf2_s, reason)
+
     @property
     def pool(self) -> ThinPool:
         if self._pool is None:
@@ -252,7 +257,7 @@ class MobiCealSystem:
             footer, decoy_key = CryptoFooter.create(decoy_password, phone.rng)
             ks = []
             for pwd in hidden_passwords:
-                self._charge(phone.profile.pbkdf2_s, "pbkdf2-k")
+                self._charge_kdf("pbkdf2-k")
                 ks.append(
                     derive_hidden_volume_index(
                         pwd.encode("utf-8"), footer.salt, self.config.num_volumes
@@ -288,7 +293,7 @@ class MobiCealSystem:
 
         # Hidden volumes: verifier block + ext4 under each hidden key.
         for pwd, k in zip(hidden_passwords, ks):
-            self._charge(phone.profile.pbkdf2_s, "pbkdf2-key")
+            self._charge_kdf("pbkdf2-key")
             hidden_key = footer.unlock(pwd)
             self._write_verifier(k, pwd, hidden_key)
             self._charge(phone.profile.dmsetup_s, "dmsetup")
@@ -382,7 +387,7 @@ class MobiCealSystem:
             "system.boot", clock=phone.clock, after_crash=after_crash
         ):
             pool = self._activate_pool(after_crash=after_crash)
-            self._charge(phone.profile.pbkdf2_s, "pbkdf2")
+            self._charge_kdf("pbkdf2")
             footer = CryptoFooter.load(phone.userdata)
             key = footer.unlock(password)
             self._charge(phone.profile.dmsetup_s, "dmsetup")
@@ -405,7 +410,7 @@ class MobiCealSystem:
     ) -> Filesystem:
         """Check *password* against the hidden-volume verifiers at boot."""
         phone = self.phone
-        self._charge(phone.profile.pbkdf2_s, "pbkdf2-k")
+        self._charge_kdf("pbkdf2-k")
         k = derive_hidden_volume_index(
             password.encode("utf-8"), footer.salt, self.config.num_volumes
         )
@@ -479,11 +484,11 @@ class MobiCealSystem:
         phone = self.phone
         self._charge(phone.profile.vold_roundtrip_s, "imountservice")
         footer = CryptoFooter.load(phone.userdata)
-        self._charge(phone.profile.pbkdf2_s, "pbkdf2-k")
+        self._charge_kdf("pbkdf2-k")
         k = derive_hidden_volume_index(
             password.encode("utf-8"), footer.salt, self.config.num_volumes
         )
-        self._charge(phone.profile.pbkdf2_s, "pbkdf2-key")
+        self._charge_kdf("pbkdf2-key")
         key = footer.unlock(password)
         if not self._check_verifier(k, password, key):
             return None

@@ -55,19 +55,33 @@ class CryptTarget(Target):
         return block * self._sectors_per_block
 
     def read(self, block: int) -> bytes:
-        ciphertext = self._device.read_block(block)
-        self._charge(len(ciphertext))
-        obs.counter_add("crypt.bytes_decrypted", len(ciphertext))
-        return self._cipher.decrypt_sector(self._sector_of(block), ciphertext)
+        with obs.deep_span("crypt.read", clock=self._clock):
+            ciphertext = self._device.read_block(block)
+            self._charge(len(ciphertext))
+            obs.counter_add("crypt.bytes_decrypted", len(ciphertext))
+            return self._cipher.decrypt_sector(
+                self._sector_of(block), ciphertext
+            )
 
     def write(self, block: int, data: bytes) -> None:
-        self._charge(len(data))
-        obs.counter_add("crypt.bytes_encrypted", len(data))
-        ciphertext = self._cipher.encrypt_sector(self._sector_of(block), data)
-        self._device.write_block(block, ciphertext)
+        with obs.deep_span("crypt.write", clock=self._clock):
+            self._charge(len(data))
+            obs.counter_add("crypt.bytes_encrypted", len(data))
+            ciphertext = self._cipher.encrypt_sector(
+                self._sector_of(block), data
+            )
+            self._device.write_block(block, ciphertext)
 
     def read_extent(
         self, block: int, count: int, costs: Optional[ExtentCosts] = None
+    ) -> bytes:
+        with obs.deep_span(
+            "crypt.read_extent", clock=self._clock, blocks=count
+        ):
+            return self._read_extent_impl(block, count, costs)
+
+    def _read_extent_impl(
+        self, block: int, count: int, costs: Optional[ExtentCosts]
     ) -> bytes:
         # The per-block path charges the CPU cost *after* each block's data
         # arrives (decryption waits on the device), so the charge is
@@ -90,6 +104,16 @@ class CryptTarget(Target):
 
     def write_extent(
         self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
+    ) -> None:
+        with obs.deep_span(
+            "crypt.write_extent",
+            clock=self._clock,
+            blocks=len(data) // self.block_size,
+        ):
+            self._write_extent_impl(block, data, costs)
+
+    def _write_extent_impl(
+        self, block: int, data: bytes, costs: Optional[ExtentCosts]
     ) -> None:
         costs = ExtentCosts() if costs is None else costs.clone()
         bs = self.block_size

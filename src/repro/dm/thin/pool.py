@@ -204,6 +204,21 @@ class ThinPool:
         strictly uniform over volume ids — it never distinguishes hidden
         from dummy allocations, so recovery cannot become a distinguisher.
         """
+        with obs.deep_span("pool.recover", clock=clock):
+            return cls._recover_impl(
+                metadata_device, data_device, allocation, rng, clock, costs
+            )
+
+    @classmethod
+    def _recover_impl(
+        cls,
+        metadata_device: BlockDevice,
+        data_device: BlockDevice,
+        allocation: str,
+        rng: Optional[Rng],
+        clock: Optional[SimClock],
+        costs: ThinCosts,
+    ) -> "tuple[ThinPool, PoolRecovery]":
         store = MetadataStore(metadata_device)
         metadata, meta_report = store.recover()
         owners: dict = {}
@@ -400,6 +415,16 @@ class ThinPool:
         extent (with the lookup charge scheduled per block); holes and
         mapping discontinuities split the request.
         """
+        with obs.deep_span("pool.read_extent", clock=self._clock, blocks=count):
+            return self._read_extent_impl(record, vstart, count, costs)
+
+    def _read_extent_impl(
+        self,
+        record: VolumeRecord,
+        vstart: int,
+        count: int,
+        costs: Optional[ExtentCosts],
+    ) -> bytes:
         parts: List[bytes] = []
         mappings = record.mappings
         bs = self.block_size
@@ -449,6 +474,20 @@ class ThinPool:
         layout, RNG stream and noise interleaving are identical to the
         per-block path; only already-mapped contiguous runs batch.
         """
+        with obs.deep_span(
+            "pool.write_extent",
+            clock=self._clock,
+            blocks=len(data) // self.block_size,
+        ):
+            self._write_extent_impl(record, vstart, data, costs)
+
+    def _write_extent_impl(
+        self,
+        record: VolumeRecord,
+        vstart: int,
+        data: bytes,
+        costs: Optional[ExtentCosts],
+    ) -> None:
         bs = self.block_size
         count = len(data) // bs
         mappings = record.mappings

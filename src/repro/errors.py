@@ -229,3 +229,12 @@ class WorkloadError(ReproError):
 
 class TraceFormatError(WorkloadError):
     """A recorded workload trace was malformed or has the wrong version."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObsError(ReproError):
+    """Base class for observability (``repro.obs``) failures."""

@@ -29,11 +29,13 @@ from repro.obs.metrics import (
     MetricRegistry,
 )
 from repro.obs.recorder import (
+    GaugeSample,
     MarkRecord,
     Recorder,
     SpanRecord,
     counter_add,
     current,
+    deep_span,
     enabled,
     gauge_set,
     mark,
@@ -58,11 +60,25 @@ from repro.obs.export import (
     render_span_tree,
     write_bench_json,
 )
+from repro.obs.attribution import (
+    attribution,
+    layer_of,
+    render_attribution,
+    self_times,
+)
+from repro.obs.chrometrace import (
+    chrome_trace,
+    chrome_trace_events,
+    render_chrome_trace,
+    validate_trace_events,
+)
+from repro.obs.flame import folded_stacks, parse_folded, render_folded
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
+    "GaugeSample",
     "Histogram",
     "MetricRegistry",
     "MarkRecord",
@@ -70,6 +86,7 @@ __all__ = [
     "SpanRecord",
     "counter_add",
     "current",
+    "deep_span",
     "enabled",
     "gauge_set",
     "mark",
@@ -77,6 +94,17 @@ __all__ = [
     "observe_latency",
     "publish_io",
     "span",
+    "attribution",
+    "layer_of",
+    "render_attribution",
+    "self_times",
+    "chrome_trace",
+    "chrome_trace_events",
+    "render_chrome_trace",
+    "validate_trace_events",
+    "folded_stacks",
+    "parse_folded",
+    "render_folded",
     "allocation_sequentiality_probe",
     "pool_deniability_gauges",
     "record_deniability_gauges",

@@ -1,0 +1,289 @@
+"""Chrome trace-event export: open any recorded run in a real trace viewer.
+
+:func:`chrome_trace` renders everything a
+:class:`~repro.obs.recorder.Recorder` collected as Chrome trace-event
+JSON (the format ``chrome://tracing`` and https://ui.perfetto.dev load
+directly):
+
+* spans become ``B``/``E`` duration events, one track (``tid``) per
+  stack layer, so the nesting you see in the viewer is the span forest;
+* marks become ``i`` instant events on their layer's track;
+* published block-I/O events (:class:`~repro.blockdev.trace.TraceEvent`)
+  land on a dedicated ``io`` track;
+* gauges — including the deniability gauges — become ``C`` counter
+  tracks, using the timestamped samples recorded at each ``gauge_set``
+  (final registry values at end-of-trace when no samples exist).
+
+Timestamps are microseconds. ``timeline="sim"`` (default) uses the
+deterministic simulated clock; ``timeline="wall"`` uses the opt-in
+wall-clock capture of ``observe(wall=True)`` (spans and marks only — I/O
+events and gauge samples carry no wall timestamp) and is normalized so
+the first event starts at zero.
+
+:func:`validate_trace_events` is the shape checker CI's profile-smoke
+step and the tests run: every ``B`` must close with a matching ``E`` and
+every track's timestamps must be monotonic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import ObsError
+from repro.obs.attribution import layer_of
+from repro.obs.recorder import Recorder, SpanRecord
+
+#: pid used for every event (one simulated process).
+_PID = 1
+
+#: tids: layers get stable small numbers, the io track comes after.
+_IO_TRACK = "io"
+
+
+def _span_ts(span: SpanRecord, timeline: str) -> Optional[float]:
+    return span.start if timeline == "sim" else span.wall_start
+
+
+def _span_end_ts(span: SpanRecord, timeline: str) -> Optional[float]:
+    return span.end if timeline == "sim" else span.wall_end
+
+
+def chrome_trace_events(
+    recorder: Recorder, timeline: str = "sim"
+) -> List[Dict[str, object]]:
+    """The recorder's timeline as a list of trace-event dicts."""
+    if timeline not in ("sim", "wall"):
+        raise ObsError(f"unknown timeline {timeline!r}; use 'sim' or 'wall'")
+    if timeline == "wall" and not recorder.wall:
+        raise ObsError(
+            "wall-clock trace needs a recorder opened with observe(wall=True)"
+        )
+
+    # Wall timestamps are perf_counter readings with an arbitrary origin;
+    # shift them so the trace starts at zero.
+    origin = 0.0
+    if timeline == "wall":
+        starts = [s.wall_start for s in recorder.spans if s.wall_start is not None]
+        starts.extend(m.wall for m in recorder.marks if m.wall is not None)
+        origin = min(starts) if starts else 0.0
+
+    def us(seconds: Optional[float]) -> Optional[float]:
+        if seconds is None:
+            return None
+        return (seconds - origin) * 1e6
+
+    events: List[Dict[str, object]] = []
+    tracks: Dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        number = tracks.get(track)
+        if number is None:
+            number = tracks[track] = len(tracks) + 1
+        return number
+
+    # -- spans: DFS emission reproduces execution order, which keeps every
+    # track's B/E sequence properly nested and monotonic ------------------
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for s in recorder.spans:
+        children.setdefault(s.parent, []).append(s)
+    # cursor = latest timestamp emitted so far in execution order; an
+    # unclosed span (unwound by an injected crash) closes here, which is
+    # >= all its children's ends and <= any later sibling's start
+    last_ts = 0.0
+
+    def emit(span: SpanRecord) -> None:
+        nonlocal last_ts
+        start = us(_span_ts(span, timeline))
+        if start is None:
+            return
+        last_ts = max(last_ts, start)
+        layer = layer_of(span.name)
+        args = {str(k): v for k, v in span.attrs.items()}
+        events.append(
+            {
+                "name": span.name,
+                "cat": layer,
+                "ph": "B",
+                "ts": start,
+                "pid": _PID,
+                "tid": tid(layer),
+                "args": args,
+            }
+        )
+        for child in children.get(span.index, ()):
+            emit(child)
+        end = us(_span_end_ts(span, timeline))
+        end_args: Dict[str, object] = {}
+        if end is None:
+            # still-open span (e.g. an injected crash unwound it): close
+            # it at the last seen timestamp so the trace stays well-formed
+            end = max(last_ts, start)
+            end_args["unclosed"] = True
+        last_ts = max(last_ts, end)
+        events.append(
+            {
+                "name": span.name,
+                "cat": layer,
+                "ph": "E",
+                "ts": end,
+                "pid": _PID,
+                "tid": tid(layer),
+                "args": end_args,
+            }
+        )
+
+    for root in children.get(None, ()):
+        emit(root)
+
+    # -- marks ------------------------------------------------------------
+    for m in recorder.marks:
+        at = us(m.at if timeline == "sim" else m.wall)
+        if at is None:
+            continue
+        layer = layer_of(m.name)
+        events.append(
+            {
+                "name": m.name,
+                "cat": "mark",
+                "ph": "i",
+                "s": "t",
+                "ts": at,
+                "pid": _PID,
+                "tid": tid(layer),
+                "args": {},
+            }
+        )
+
+    # -- block I/O (sim timeline only: TraceEvents carry sim timestamps) --
+    if timeline == "sim":
+        for event in recorder.io_events:
+            events.append(
+                {
+                    "name": f"{event.op}",
+                    "cat": "io",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (getattr(event, "at", 0.0)) * 1e6,
+                    "pid": _PID,
+                    "tid": tid(_IO_TRACK),
+                    "args": {"block": getattr(event, "block", -1)},
+                }
+            )
+        samples = recorder.gauge_samples
+        if samples:
+            for sample in samples:
+                events.append(
+                    {
+                        "name": sample.name,
+                        "ph": "C",
+                        "ts": sample.at * 1e6,
+                        "pid": _PID,
+                        "tid": 0,
+                        "args": {"value": sample.value},
+                    }
+                )
+        else:
+            end_ts = max((e["ts"] for e in events), default=0.0)
+            for name, gauge in sorted(recorder.metrics.gauges.items()):
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": end_ts,
+                        "pid": _PID,
+                        "tid": 0,
+                        "args": {"value": gauge.value},
+                    }
+                )
+
+    # Stable sort: equal timestamps keep emission order, so B/E nesting
+    # survives and every track stays monotonic.
+    events.sort(key=lambda e: e["ts"])
+
+    # Track-name metadata first (ph M events are timestamp-less).
+    meta: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": f"repro ({timeline} clock)"},
+        }
+    ]
+    for track, number in sorted(tracks.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": number,
+                "args": {"name": track},
+            }
+        )
+    return meta + events
+
+
+def chrome_trace(
+    recorder: Recorder, timeline: str = "sim"
+) -> Dict[str, object]:
+    """The full JSON-object trace (what a viewer's *Open file* expects)."""
+    return {
+        "traceEvents": chrome_trace_events(recorder, timeline),
+        "displayTimeUnit": "ms",
+        "metadata": {"timeline": timeline, "source": "repro.obs"},
+    }
+
+
+def render_chrome_trace(recorder: Recorder, timeline: str = "sim") -> str:
+    """Serialized trace JSON (sorted keys, newline-terminated)."""
+    return json.dumps(chrome_trace(recorder, timeline), sort_keys=True) + "\n"
+
+
+def validate_trace_events(
+    events: List[Dict[str, object]]
+) -> List[str]:
+    """Shape-check trace events; returns a list of problems (empty = ok).
+
+    Checks the invariants the exporter guarantees: every ``B`` closes
+    with a matching same-name ``E`` on the same track, ``E`` never
+    appears without an open ``B``, and per-track timestamps are monotonic
+    (non-decreasing). Metadata (``M``) events are exempt.
+    """
+    problems: List[str] = []
+    open_stacks: Dict[object, List[str]] = {}
+    last_ts: Dict[object, float] = {}
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: missing/non-numeric ts: {event!r}")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event {i}: ts {ts} goes backwards on track {track}"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            open_stacks.setdefault(track, []).append(str(event.get("name")))
+        elif ph == "E":
+            stack = open_stacks.get(track)
+            if not stack:
+                problems.append(
+                    f"event {i}: E without open B on track {track}"
+                )
+            elif stack[-1] != str(event.get("name")):
+                problems.append(
+                    f"event {i}: E {event.get('name')!r} closes "
+                    f"{stack[-1]!r} on track {track}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+    for track, stack in open_stacks.items():
+        if stack:
+            problems.append(f"track {track}: unclosed B events: {stack}")
+    return problems

@@ -18,6 +18,7 @@ import math
 import pathlib
 from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ObsError
 from repro.obs.recorder import Recorder, SpanRecord
 
 #: Version of the BENCH_*.json schema. Bump on incompatible layout changes.
@@ -140,6 +141,13 @@ def merge_recorder_payloads(
     the devices that reported them, with per-device values preserved in
     ``gauges_per_device``.
     """
+    for i, payload in enumerate(payloads):
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ObsError(
+                f"payload {i} has schema_version {version!r}, expected "
+                f"{SCHEMA_VERSION}; refusing to merge across schema versions"
+            )
     spans: Dict[str, Dict[str, float]] = {}
     marks: Dict[str, int] = {}
     counters: Dict[str, float] = {}
@@ -299,6 +307,23 @@ def render_metrics(recorder: Recorder) -> str:
             + _render_table(
                 ["histogram", "n", "mean", "p50", "p95", "p99", "max"], rows
             )
+        )
+        # Raw bucket counts: p50/p95/p99 above are interpolated inside
+        # these buckets, so flat-bucket artifacts (every observation in
+        # one bucket) are only diagnosable with the counts visible.
+        bucket_rows = [
+            [
+                name,
+                " ".join(
+                    f"{label}:{n}"
+                    for label, n in h.bucket_counts().items()
+                ),
+            ]
+            for name, h in sorted(metrics.histograms.items())
+        ]
+        sections.append(
+            "Histogram buckets (upper bound in seconds : count)\n"
+            + _render_table(["histogram", "buckets"], bucket_rows)
         )
     marks = recorder.mark_counts()
     if marks:

@@ -93,12 +93,27 @@ def record_deniability_gauges(
     """
     if pool is not None:
         for name, value in pool_deniability_gauges(pool).items():
-            registry.gauge(name).set(value)
+            _set_gauge(registry, name, value)
     if trace is not None:
-        registry.gauge("pde.allocation_sequentiality").set(
-            trace.sequentiality("write")
+        _set_gauge(
+            registry,
+            "pde.allocation_sequentiality",
+            trace.sequentiality("write"),
         )
     elif allocation is not None:
-        registry.gauge("pde.allocation_sequentiality").set(
-            allocation_sequentiality_probe(allocation)
+        _set_gauge(
+            registry,
+            "pde.allocation_sequentiality",
+            allocation_sequentiality_probe(allocation),
         )
+
+
+def _set_gauge(registry: MetricRegistry, name: str, value: float) -> None:
+    """Set a gauge; also timestamp a sample when *registry* is the active
+    recorder's (the sample feeds the trace exporters' counter tracks)."""
+    from repro.obs import recorder as recorder_mod
+
+    registry.gauge(name).set(value)
+    active = recorder_mod.current()
+    if active is not None and active.metrics is registry:
+        active.sample_gauge(name, value)

@@ -28,16 +28,25 @@ byte-identical with and without observability.
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.blockdev.faults import crash_point
+from repro.errors import ObsError
 from repro.obs.metrics import MetricRegistry
 
 
 @dataclass
 class SpanRecord:
-    """One completed (or still-open) span."""
+    """One completed (or still-open) span.
+
+    ``wall_start``/``wall_end`` are only populated when the owning
+    recorder was opened with ``observe(wall=True)``; they are
+    ``time.perf_counter()`` readings and are never serialized into the
+    deterministic BENCH payloads — only the trace/flame exporters read
+    them, on their opt-in wall-clock timeline.
+    """
 
     index: int
     name: str
@@ -46,10 +55,18 @@ class SpanRecord:
     depth: int
     end: Optional[float] = None
     attrs: Dict[str, object] = field(default_factory=dict)
+    wall_start: Optional[float] = None
+    wall_end: Optional[float] = None
 
     @property
     def duration(self) -> float:
         return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def wall_duration(self) -> float:
+        if self.wall_start is None or self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
 
 
 @dataclass(frozen=True)
@@ -58,17 +75,46 @@ class MarkRecord:
 
     name: str
     at: float
+    wall: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class GaugeSample:
+    """One timestamped gauge observation (feeds the trace counter tracks).
+
+    :func:`gauge_set` appends a sample per call, so exporters can render a
+    gauge's trajectory over the run instead of just its final value. The
+    deterministic payloads keep using the registry's final values only.
+    """
+
+    name: str
+    at: float
+    value: float
 
 
 class Recorder:
-    """Collects spans, marks, I/O events and metrics for one observation."""
+    """Collects spans, marks, I/O events and metrics for one observation.
 
-    def __init__(self, clock=None) -> None:
+    *wall* opts into wall-clock capture: every span and mark additionally
+    records ``time.perf_counter()`` readings. Wall times are stripped from
+    every deterministic payload (:func:`repro.obs.export.recorder_payload`
+    never reads them), so enabling them cannot drift a BENCH file.
+
+    *deep* opts into the hot-path profiling spans (:func:`deep_span`):
+    per-extent device/crypt/thin/ext4 spans that are too voluminous for
+    routine telemetry but make the flamegraph and attribution views
+    trustworthy. ``repro profile`` turns this on.
+    """
+
+    def __init__(self, clock=None, wall: bool = False, deep: bool = False) -> None:
         #: default clock for spans/marks that do not pass their own
         self.clock = clock
+        self.wall = wall
+        self.deep = deep
         self.spans: List[SpanRecord] = []
         self.marks: List[MarkRecord] = []
         self.io_events: List[object] = []  # TraceEvent, kept duck-typed
+        self.gauge_samples: List[GaugeSample] = []
         self.metrics = MetricRegistry()
         self._stack: List[int] = []
 
@@ -78,16 +124,26 @@ class Recorder:
         c = clock if clock is not None else self.clock
         return c.now if c is not None else 0.0
 
+    def _wall_now(self) -> Optional[float]:
+        return time.perf_counter() if self.wall else None
+
     # -- recording ----------------------------------------------------------
 
     def span(self, name: str, clock=None, **attrs) -> "_ActiveSpan":
         return _ActiveSpan(self, name, clock, attrs)
 
     def mark(self, name: str, clock=None) -> None:
-        self.marks.append(MarkRecord(name, self._now(clock)))
+        self.marks.append(
+            MarkRecord(name, self._now(clock), wall=self._wall_now())
+        )
 
     def record_io(self, event) -> None:
         self.io_events.append(event)
+
+    def sample_gauge(self, name: str, value: float, clock=None) -> None:
+        self.gauge_samples.append(
+            GaugeSample(name, self._now(clock), float(value))
+        )
 
     # -- queries ------------------------------------------------------------
 
@@ -158,6 +214,7 @@ class _ActiveSpan:
             parent=rec._stack[-1] if rec._stack else None,
             depth=len(rec._stack),
             attrs=dict(self._attrs),
+            wall_start=rec._wall_now(),
         )
         rec.spans.append(record)
         rec._stack.append(record.index)
@@ -167,6 +224,7 @@ class _ActiveSpan:
     def __exit__(self, *exc: object) -> None:
         assert self.record is not None
         self.record.end = self._recorder._now(self._clock)
+        self.record.wall_end = self._recorder._wall_now()
         # tolerate exceptions that unwound inner spans without __exit__
         stack = self._recorder._stack
         if self.record.index in stack:
@@ -199,15 +257,30 @@ def enabled() -> bool:
 
 
 @contextlib.contextmanager
-def observe(clock=None) -> Iterator[Recorder]:
+def observe(
+    clock=None, wall: bool = False, deep: bool = False, stack: bool = False
+) -> Iterator[Recorder]:
     """Activate a fresh :class:`Recorder` for the ``with`` body.
 
-    Nesting is allowed; the inner recorder shadows the outer one and the
-    outer is restored on exit (instrumentation only ever reports to the
-    innermost active recorder).
+    Opening an observation while another recorder is already active is
+    almost always a bug — the inner recorder would silently swallow every
+    event the outer one expected — so it raises :class:`ObsError` unless
+    the caller opts in with ``stack=True``, in which case the inner
+    recorder deliberately shadows the outer one and the outer is restored
+    on exit (instrumentation only ever reports to the innermost active
+    recorder).
+
+    ``wall=True`` additionally captures wall-clock timings on every span
+    and mark (stripped from all deterministic payloads); ``deep=True``
+    enables the per-extent hot-path spans (see :func:`deep_span`).
     """
     global _CURRENT
-    recorder = Recorder(clock=clock)
+    if _CURRENT is not None and not stack:
+        raise ObsError(
+            "observe() called while another recorder is active; pass "
+            "stack=True to deliberately shadow the outer recorder"
+        )
+    recorder = Recorder(clock=clock, wall=wall, deep=deep)
     previous = _CURRENT
     _CURRENT = recorder
     try:
@@ -223,6 +296,21 @@ def span(name: str, clock=None, **attrs):
     """Open a span; returns a shared no-op when observability is off."""
     rec = _CURRENT
     if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, clock=clock, **attrs)
+
+
+def deep_span(name: str, clock=None, **attrs):
+    """Open a hot-path profiling span; no-op unless ``observe(deep=True)``.
+
+    Per-extent instrumentation (device reads/writes, per-extent crypto,
+    thin lookups, journal checkpoints) uses this entry point so that
+    routine telemetry — and every BENCH payload — keeps its exact span
+    set, while ``repro profile`` / ``repro flame`` get leaf-level
+    attribution.
+    """
+    rec = _CURRENT
+    if rec is None or not rec.deep:
         return _NULL_SPAN
     return rec.span(name, clock=clock, **attrs)
 
@@ -252,6 +340,7 @@ def gauge_set(name: str, value: float) -> None:
     rec = _CURRENT
     if rec is not None:
         rec.metrics.gauge(name).set(value)
+        rec.sample_gauge(name, value)
 
 
 def observe_latency(name: str, seconds: float) -> None:

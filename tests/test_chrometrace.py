@@ -1,0 +1,227 @@
+"""Tests for the profiling exporters: chrome trace, flame, attribution."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.blockdev import EMMCDevice, LatencyModel, RAMBlockDevice, SimClock
+from repro.dm import create_crypt_device
+from repro.dm.crypt import NEXUS4_CRYPTO_BYTE_COST_S
+from repro.dm.thin import ThinPool
+from repro.errors import ObsError
+
+BS = 4096
+EXTENT_BLOCKS = 32
+
+
+def _session_recorder(deep=True, wall=False):
+    """A small end-to-end PDE session (the `repro trace` workload)."""
+    from repro.cli import _observed_session
+
+    return _observed_session(0, 4096, deep=deep, wall=wall)
+
+
+def _hotpath_recorder(wall=False):
+    """Deep-observed crypt-over-thin-over-eMMC traffic (the hot path)."""
+    payload = b"\x5a" * (BS * EXTENT_BLOCKS)
+    with obs.observe(deep=True, wall=wall) as recorder:
+        clock = SimClock()
+        recorder.clock = clock
+        emmc = EMMCDevice(
+            8 * EXTENT_BLOCKS, clock=clock, latency=LatencyModel()
+        )
+        pool = ThinPool.format(
+            RAMBlockDevice(16), emmc, allocation="sequential", clock=clock
+        )
+        pool.create_thin(1, 4 * EXTENT_BLOCKS)
+        thin = pool.get_thin(1)
+        crypt = create_crypt_device(
+            "hot", thin, key=bytes(32), clock=clock,
+            crypto_byte_cost_s=NEXUS4_CRYPTO_BYTE_COST_S,
+        )
+        crypt.write_blocks(0, payload)
+        crypt.read_blocks(0, EXTENT_BLOCKS)
+        for block in range(0, EXTENT_BLOCKS, 4):
+            crypt.read_block(block)
+    return recorder
+
+
+class TestChromeTrace:
+    def test_session_trace_is_well_formed(self):
+        recorder = _session_recorder()
+        events = obs.chrome_trace_events(recorder, "sim")
+        assert events, "session produced no trace events"
+        assert obs.validate_trace_events(events) == []
+
+    def test_every_b_has_matching_e(self):
+        recorder = _hotpath_recorder()
+        events = obs.chrome_trace_events(recorder, "sim")
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == len(recorder.spans)
+        assert obs.validate_trace_events(events) == []
+
+    def test_per_track_timestamps_monotonic(self):
+        recorder = _session_recorder()
+        last = {}
+        for event in obs.chrome_trace_events(recorder, "sim"):
+            if event["ph"] == "M":
+                continue
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(track, float("-inf"))
+            last[track] = event["ts"]
+
+    def test_counter_tracks_carry_deniability_gauges(self):
+        recorder = _session_recorder()
+        counters = {
+            e["name"]
+            for e in obs.chrome_trace_events(recorder, "sim")
+            if e["ph"] == "C"
+        }
+        assert any(name.startswith("pde.") for name in counters)
+
+    def test_track_metadata_names_layers(self):
+        recorder = _hotpath_recorder()
+        events = obs.chrome_trace_events(recorder, "sim")
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"crypt", "thin", "emmc"} <= thread_names
+
+    def test_wall_timeline_requires_wall_capture(self):
+        recorder = _hotpath_recorder(wall=False)
+        with pytest.raises(ObsError, match="wall"):
+            obs.chrome_trace_events(recorder, "wall")
+
+    def test_wall_timeline_well_formed_and_zero_based(self):
+        recorder = _hotpath_recorder(wall=True)
+        events = obs.chrome_trace_events(recorder, "wall")
+        assert obs.validate_trace_events(events) == []
+        timestamps = [e["ts"] for e in events if e["ph"] != "M"]
+        assert min(timestamps) == 0.0
+
+    def test_unknown_timeline_rejected(self):
+        recorder = _hotpath_recorder()
+        with pytest.raises(ObsError, match="timeline"):
+            obs.chrome_trace_events(recorder, "cpu")
+
+    def test_render_is_valid_json_with_trace_events(self):
+        recorder = _hotpath_recorder()
+        parsed = json.loads(obs.render_chrome_trace(recorder, "sim"))
+        assert parsed["metadata"]["timeline"] == "sim"
+        assert obs.validate_trace_events(parsed["traceEvents"]) == []
+
+    def test_unclosed_span_closed_and_flagged(self):
+        clock = SimClock()
+        with obs.observe() as recorder:
+            span = recorder.span("pool.commit", clock=clock)
+            span.__enter__()  # crash-style unwind: never exited
+            clock.advance(1.0)
+            with recorder.span("pool.recover", clock=clock):
+                clock.advance(2.0)
+        events = obs.chrome_trace_events(recorder, "sim")
+        assert obs.validate_trace_events(events) == []
+        unclosed = [
+            e for e in events
+            if e["ph"] == "E" and e["args"].get("unclosed")
+        ]
+        assert [e["name"] for e in unclosed] == ["pool.commit"]
+
+    def test_validator_catches_broken_traces(self):
+        bad = [
+            {"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 2.0, "pid": 1, "tid": 1},
+            {"name": "c", "ph": "i", "ts": 0.5, "pid": 1, "tid": 1},
+        ]
+        problems = obs.validate_trace_events(bad)
+        assert any("closes" in p for p in problems)
+        assert any("backwards" in p for p in problems)
+
+
+class TestFlame:
+    def test_folded_round_trip(self):
+        recorder = _hotpath_recorder()
+        stacks = obs.folded_stacks(recorder, "sim")
+        text = obs.render_folded(stacks)
+        parsed = obs.parse_folded(text)
+        scale = {
+            path: int(round(seconds * 1e6))
+            for path, seconds in stacks.items()
+            if int(round(seconds * 1e6)) > 0
+        }
+        assert parsed == scale
+
+    def test_stack_paths_reflect_nesting(self):
+        recorder = _hotpath_recorder()
+        stacks = obs.folded_stacks(recorder, "sim")
+        assert any(
+            path.startswith("crypt.") and ";emmc." in path
+            for path in stacks
+        )
+
+    def test_parse_folded_rejects_garbage(self):
+        with pytest.raises(ObsError):
+            obs.parse_folded("no-count-line\n")
+        with pytest.raises(ObsError):
+            obs.parse_folded("path notanumber\n")
+
+    def test_self_time_partition(self):
+        """Folded-stack counts partition the total root time exactly."""
+        recorder = _hotpath_recorder()
+        stacks = obs.folded_stacks(recorder, "sim")
+        total_roots = sum(
+            s.duration for s in recorder.spans if s.parent is None
+        )
+        assert sum(stacks.values()) == pytest.approx(total_roots)
+
+
+class TestAttribution:
+    def test_hotpath_layers_cover_95_percent(self):
+        recorder = _hotpath_recorder()
+        report = obs.attribution(recorder, "sim")
+        layers = report["layers"]
+        covered = sum(
+            layers[name]["exclusive_s"]
+            for name in ("crypt", "thin", "emmc")
+            if name in layers
+        )
+        assert report["total_s"] > 0
+        assert covered / report["total_s"] >= 0.95
+        assert report["unattributed_s"] / report["total_s"] <= 0.05
+
+    def test_exclusive_partitions_inclusive(self):
+        recorder = _session_recorder()
+        report = obs.attribution(recorder, "sim")
+        exclusive = sum(
+            entry["exclusive_s"] for entry in report["layers"].values()
+        )
+        assert exclusive == pytest.approx(report["total_s"], abs=1e-9)
+
+    def test_wall_attribution_requires_wall(self):
+        recorder = _hotpath_recorder(wall=False)
+        with pytest.raises(ObsError, match="wall"):
+            obs.attribution(recorder, "wall")
+
+    def test_wall_attribution_nonzero(self):
+        recorder = _hotpath_recorder(wall=True)
+        report = obs.attribution(recorder, "wall")
+        assert report["total_s"] > 0
+
+    def test_deep_spans_off_by_default(self):
+        """Without deep=True the per-extent spans must not record."""
+        payload = b"\x11" * (BS * 4)
+        with obs.observe() as recorder:
+            clock = SimClock()
+            emmc = EMMCDevice(16, clock=clock, latency=LatencyModel())
+            emmc.write_blocks(0, payload)
+        assert recorder.spans == []
+
+    def test_render_attribution_lists_layers(self):
+        recorder = _hotpath_recorder()
+        text = obs.render_attribution(obs.attribution(recorder, "sim"))
+        for layer in ("crypt", "thin", "emmc"):
+            assert layer in text
+        assert "unattributed" in text

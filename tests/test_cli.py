@@ -16,11 +16,15 @@ class TestParser:
         parser = build_parser()
         for command in ("fig4", "table1", "table2", "game", "sidechannel",
                         "crashsim", "workload", "workloads", "fleet",
-                        "trace", "metrics", "all"):
+                        "trace", "metrics", "profile", "flame", "all"):
             args = parser.parse_args([command])
             assert args.command == command
         args = parser.parse_args(["replay", "some.trace"])
         assert args.command == "replay"
+        for bench_command in (["bench", "history"],
+                              ["bench", "compare", "--baseline", "x"]):
+            args = parser.parse_args(bench_command)
+            assert args.command == "bench"
 
     def test_seed_option(self):
         args = build_parser().parse_args(["--seed", "7", "table1"])
@@ -29,6 +33,11 @@ class TestParser:
     def test_json_dir_option(self):
         args = build_parser().parse_args(["table1", "--json-dir", "/tmp/x"])
         assert args.json_dir == "/tmp/x"
+
+    def test_json_dir_defaults_to_committed_results(self):
+        # benchmarks/results/ is the single BENCH output location
+        args = build_parser().parse_args(["table1"])
+        assert args.json_dir == "benchmarks/results"
 
     def test_userdata_mib_shared_default(self):
         parser = build_parser()
@@ -105,8 +114,43 @@ class TestExecution:
         assert main(["metrics"]) == 0
         out = capsys.readouterr().out
         assert "Latency histograms" in out
+        assert "Histogram buckets" in out
         assert "emmc.write" in out
         assert "pde.dummy_amplification" in out
+
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        from repro.obs import validate_trace_events
+
+        out_file = tmp_path / "trace.chrome.json"
+        assert main(["trace", "--format", "chrome",
+                     "--out", str(out_file)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        trace = json.loads(out_file.read_text())
+        assert trace["metadata"]["timeline"] == "sim"
+        assert validate_trace_events(trace["traceEvents"]) == []
+
+    def test_profile_runs_with_artifacts(self, capsys, tmp_path):
+        assert main(["profile", "--wall", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-layer time attribution" in out
+        assert "wall clock" in out
+        for name in ("trace.chrome.json", "stacks.folded",
+                     "attribution.json", "trace.wall.chrome.json",
+                     "stacks.wall.folded", "attribution.wall.json"):
+            assert (tmp_path / name).exists(), name
+        report = json.loads((tmp_path / "attribution.json").read_text())
+        assert report["timeline"] == "sim"
+        assert report["total_s"] > 0
+
+    def test_flame_workload_runs(self, capsys, tmp_path):
+        from repro.obs import parse_folded
+
+        out_file = tmp_path / "stacks.folded"
+        assert main(["flame", "--workload", "messaging", "--ops", "20",
+                     "--out", str(out_file)]) == 0
+        stacks = parse_folded(out_file.read_text())
+        assert stacks
+        assert any("emmc." in path for path in stacks)
 
     def test_crashsim_runs_small(self, capsys, tmp_path):
         assert main(["crashsim", "--scenario", "metadata", "--stride", "4",

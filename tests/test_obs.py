@@ -99,16 +99,30 @@ class TestDisabled:
         assert list(rec.metrics.counters) == ["inside"]
         assert rec.spans == []
 
-    def test_observe_nests_and_restores(self):
+    def test_observe_nests_and_restores_with_stack_optin(self):
         with obs.observe() as outer:
             obs.counter_add("a")
-            with obs.observe() as inner:
+            with obs.observe(stack=True) as inner:
                 obs.counter_add("b")
             assert obs.current() is outer
             obs.counter_add("c")
         assert obs.current() is None
         assert sorted(outer.metrics.counters) == ["a", "c"]
         assert list(inner.metrics.counters) == ["b"]
+
+    def test_implicit_nesting_raises_obs_error(self):
+        from repro.errors import ObsError
+
+        with obs.observe() as outer:
+            obs.counter_add("a")
+            with pytest.raises(ObsError, match="stack=True"):
+                with obs.observe():
+                    pass  # pragma: no cover - never entered
+            # the outer recorder survives a refused nested observe
+            assert obs.current() is outer
+            obs.counter_add("b")
+        assert obs.current() is None
+        assert sorted(outer.metrics.counters) == ["a", "b"]
 
 
 class TestMetrics:
@@ -275,6 +289,58 @@ class TestExport:
             pass
         assert obs.render_span_tree(rec) == "(no spans recorded)"
         assert obs.render_metrics(rec) == "(no metrics recorded)"
+
+    def test_render_metrics_shows_histogram_buckets(self):
+        with obs.observe() as rec:
+            obs.observe_latency("lat", 0.0001)
+            obs.observe_latency("lat", 0.0001)
+            obs.observe_latency("lat", 0.3)
+        text = obs.render_metrics(rec)
+        assert "Histogram buckets" in text
+        hist = rec.metrics.histograms["lat"]
+        for label, count in hist.bucket_counts().items():
+            assert f"{label}:{count}" in text
+
+
+class TestMergePayloads:
+    def _payload(self, counters=None, gauges=None):
+        with obs.observe(stack=True) as rec:
+            for name, value in (counters or {}).items():
+                obs.counter_add(name, value)
+            for name, value in (gauges or {}).items():
+                obs.gauge_set(name, value)
+        return obs.recorder_payload(rec)
+
+    def test_merge_empty_list(self):
+        merged = obs.merge_recorder_payloads([])
+        assert merged["merged_from"] == 0
+        assert merged["spans"] == {}
+        assert merged["marks"] == {}
+        assert merged["metrics"]["counters"] == {}
+        assert merged["io"] == {"events": 0, "by_op": {}}
+
+    def test_merge_disjoint_metric_sets(self):
+        a = self._payload(counters={"only-a": 2}, gauges={"g-a": 1.0})
+        b = self._payload(counters={"only-b": 5}, gauges={"g-b": 3.0})
+        merged = obs.merge_recorder_payloads([a, b])
+        assert merged["metrics"]["counters"] == {"only-a": 2, "only-b": 5}
+        # each gauge averages over the devices that reported it — a gauge
+        # missing from one payload must not be diluted by zeros
+        assert merged["metrics"]["gauges"] == {"g-a": 1.0, "g-b": 3.0}
+        assert merged["metrics"]["gauges_per_device"] == {
+            "g-a": [1.0], "g-b": [3.0]
+        }
+
+    def test_merge_mismatched_schema_version_raises(self):
+        from repro.errors import ObsError
+
+        good = self._payload(counters={"n": 1})
+        stale = dict(good, schema_version=obs.SCHEMA_VERSION + 1)
+        with pytest.raises(ObsError, match="schema_version"):
+            obs.merge_recorder_payloads([good, stale])
+        missing = {k: v for k, v in good.items() if k != "schema_version"}
+        with pytest.raises(ObsError, match="schema_version"):
+            obs.merge_recorder_payloads([missing])
 
 
 class TestGauges:
