@@ -52,12 +52,40 @@ WALL_CLOCK_EXPERIMENTS = frozenset({"hotpath"})
 #: ``baseline == 0`` relative-delta singularity for both bands).
 ABSOLUTE_FLOOR = 1e-12
 
+#: One-sided hard minimums, enforced on top of the tolerance bands:
+#: ``experiment -> flattened metric path -> minimum acceptable value``.
+#: These encode acceptance criteria that must never erode no matter how
+#: the baseline moves — the vectorized-core speedup bars live here, so
+#: ``repro bench compare`` (and hence CI) fails if the crypt hot path
+#: ever drops below its promised multiple of the pure-Python reference.
+METRIC_FLOORS: Mapping[str, Mapping[str, float]] = {
+    "hotpath": {
+        "scenarios.crypt_seq_write.speedup": 5.0,
+        "scenarios.emmc_seq_write.speedup": 3.0,
+    },
+}
+
 
 def tolerance_for(experiment: str) -> float:
     """The relative tolerance band for *experiment*'s metrics."""
     if experiment in WALL_CLOCK_EXPERIMENTS:
         return LOOSE_TOLERANCE
     return TIGHT_TOLERANCE
+
+
+def _improvement_direction(metric: str) -> int:
+    """Which way a wall-clock metric improves: +1 up, -1 down, 0 unknown.
+
+    Wall-clock measurements get a one-sided band — a faster simulator is
+    never a regression — so the compare step needs to know which sign is
+    "better" for each metric shape.
+    """
+    leaf = metric.rsplit(".", 1)[-1]
+    if leaf == "speedup" or leaf.endswith("_per_s"):
+        return 1
+    if leaf.endswith("_s"):
+        return -1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -170,13 +198,21 @@ def append_history(
 
 @dataclass(frozen=True)
 class MetricDelta:
-    """One metric's baseline-vs-current comparison."""
+    """One metric's baseline-vs-current comparison.
+
+    *direction* one-sides the tolerance band for wall-clock metrics
+    (changes in the improving direction never regress); *floor* is a hard
+    minimum from :data:`METRIC_FLOORS` that applies regardless of how the
+    baseline itself has moved.
+    """
 
     experiment: str
     metric: str
     baseline: Optional[float]
     current: Optional[float]
     tolerance: float
+    direction: int = 0
+    floor: Optional[float] = None
 
     @property
     def rel_delta(self) -> float:
@@ -191,8 +227,24 @@ class MetricDelta:
         return diff / abs(self.baseline)
 
     @property
+    def below_floor(self) -> bool:
+        return (
+            self.floor is not None
+            and self.current is not None
+            and self.current < self.floor
+        )
+
+    @property
     def ok(self) -> bool:
-        return abs(self.rel_delta) <= self.tolerance
+        if self.below_floor:
+            return False
+        rel = self.rel_delta
+        if self.direction and rel != math.inf:
+            # one-sided band: only movement against the improving
+            # direction can regress
+            if (rel >= 0) == (self.direction > 0):
+                return True
+        return abs(rel) <= self.tolerance
 
 
 @dataclass
@@ -233,6 +285,8 @@ def compare_payloads(
         tolerance = tolerance_for(experiment)
     base = experiment_metrics(baseline)
     cur = experiment_metrics(current)
+    wall_clock = experiment in WALL_CLOCK_EXPERIMENTS
+    floors = METRIC_FLOORS.get(experiment, {})
     deltas = []
     for name in sorted(set(base) | set(cur)):
         deltas.append(
@@ -242,6 +296,8 @@ def compare_payloads(
                 baseline=base.get(name),
                 current=cur.get(name),
                 tolerance=tolerance,
+                direction=_improvement_direction(name) if wall_clock else 0,
+                floor=floors.get(name),
             )
         )
     return deltas
@@ -302,6 +358,11 @@ def render_compare(report: CompareReport) -> str:
             detail = f"new metric (current={delta.current:g})"
         elif delta.current is None:
             detail = f"metric vanished (baseline={delta.baseline:g})"
+        elif delta.below_floor:
+            detail = (
+                f"{delta.current:g} below hard floor {delta.floor:g} "
+                f"(baseline={delta.baseline:g})"
+            )
         else:
             detail = (
                 f"{delta.baseline:g} -> {delta.current:g} "

@@ -7,9 +7,12 @@ the i-th free block. Random allocation is what stops a multi-snapshot
 adversary from reading hidden-file size out of spatial clustering.
 
 Both strategies keep their free-structure synchronized with the pool's
-global bitmap through :meth:`mark_allocated` / :meth:`free`. The random
-allocator is numpy-backed (a swap-remove array plus a position index) so
-phone-scale pools — millions of blocks — initialize and allocate in O(1).
+global bitmap through :meth:`mark_allocated` / :meth:`free`. Each backs
+its free-structure with NumPy arrays when the vectorized core is enabled
+at construction (phone-scale pools — millions of blocks — initialize and
+allocate in O(1)) and with plain Python containers otherwise. The two
+backends draw from the RNG identically and return identical blocks, so
+which one a pool was built with is unobservable in any experiment.
 """
 
 from __future__ import annotations
@@ -17,18 +20,26 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
-import numpy as np
-
 from repro.crypto.rng import Rng
 from repro.errors import PoolExhaustedError
+from repro.util.npgate import np, vector_enabled
 
 
-def _unpack_bitmap(num_blocks: int, bitmap: bytes) -> np.ndarray:
-    """Bitmap bytes -> boolean array of length *num_blocks* (True = used)."""
+def _unpack_bitmap(num_blocks: int, bitmap: bytes):
+    """Bitmap bytes -> numpy boolean array of length *num_blocks*."""
     bits = np.unpackbits(
         np.frombuffer(bitmap, dtype=np.uint8), bitorder="little"
     )[:num_blocks]
     return bits.astype(bool)
+
+
+def _unpack_bitmap_py(num_blocks: int, bitmap: bytes) -> bytearray:
+    """Bitmap bytes -> bytearray of 0/1 flags (pure-Python backend)."""
+    used = bytearray(num_blocks)
+    for i in range(num_blocks):
+        if bitmap[i >> 3] & (1 << (i & 7)):
+            used[i] = 1
+    return used
 
 
 class Allocator(ABC):
@@ -70,12 +81,36 @@ class SequentialAllocator(Allocator):
         self, num_blocks: int, allocated_bitmap: Optional[bytes] = None
     ) -> None:
         super().__init__(num_blocks)
-        if allocated_bitmap is None:
-            self._used = np.zeros(num_blocks, dtype=bool)
+        self._vectorized = vector_enabled()
+        if self._vectorized:
+            if allocated_bitmap is None:
+                self._used = np.zeros(num_blocks, dtype=bool)
+            else:
+                self._used = _unpack_bitmap(num_blocks, allocated_bitmap).copy()
+            self._free = int(num_blocks - np.count_nonzero(self._used))
         else:
-            self._used = _unpack_bitmap(num_blocks, allocated_bitmap).copy()
-        self._free = int(num_blocks - np.count_nonzero(self._used))
+            if allocated_bitmap is None:
+                self._used = bytearray(num_blocks)
+            else:
+                self._used = _unpack_bitmap_py(num_blocks, allocated_bitmap)
+            self._free = num_blocks - sum(self._used)
         self._hint = 0
+
+    def _scan_from_hint(self) -> int:
+        """First free block at/after the hint, wrapping once (slow path)."""
+        if self._vectorized:
+            tail = np.nonzero(~self._used[self._hint :])[0]
+            if tail.size:
+                return self._hint + int(tail[0])
+            return int(np.nonzero(~self._used[: self._hint])[0][0])
+        used = self._used
+        for candidate in range(self._hint, self.num_blocks):
+            if not used[candidate]:
+                return candidate
+        for candidate in range(self._hint):
+            if not used[candidate]:
+                return candidate
+        raise AssertionError("unreachable: free_count was positive")
 
     def allocate(self) -> int:
         if self._free == 0:
@@ -85,11 +120,7 @@ class SequentialAllocator(Allocator):
             candidate = self._hint
         else:
             # slow path (after frees): scan forward, wrapping once
-            tail = np.nonzero(~self._used[self._hint :])[0]
-            if tail.size:
-                candidate = self._hint + int(tail[0])
-            else:
-                candidate = int(np.nonzero(~self._used[: self._hint])[0][0])
+            candidate = self._scan_from_hint()
         self._used[candidate] = True
         self._free -= 1
         self._hint = (candidate + 1) % self.num_blocks
@@ -118,7 +149,9 @@ class RandomAllocator(Allocator):
     Maintains the free set as an array with swap-removal plus a position
     index, so drawing "the i-th free block" is constant time. The draw is
     exactly the paper's: ``i`` uniform in ``[1, x]`` where ``x`` is the
-    current number of free blocks.
+    current number of free blocks. Both backends issue one ``randint``
+    per allocation and share swap-remove semantics, so the block sequence
+    for a given seed is backend-independent.
     """
 
     def __init__(
@@ -129,19 +162,31 @@ class RandomAllocator(Allocator):
     ) -> None:
         super().__init__(num_blocks)
         self._rng = rng if rng is not None else Rng()
-        self._free_arr = np.empty(num_blocks, dtype=np.int64)
-        self._pos = np.full(num_blocks, -1, dtype=np.int64)
-        if allocated_bitmap is None:
-            self._free_arr[:] = np.arange(num_blocks, dtype=np.int64)
-            self._count = num_blocks
+        if vector_enabled():
+            self._free_arr = np.empty(num_blocks, dtype=np.int64)
+            self._pos = np.full(num_blocks, -1, dtype=np.int64)
+            if allocated_bitmap is None:
+                self._free_arr[:] = np.arange(num_blocks, dtype=np.int64)
+                self._count = num_blocks
+            else:
+                used = _unpack_bitmap(num_blocks, allocated_bitmap)
+                free_blocks = np.nonzero(~used)[0].astype(np.int64)
+                self._count = int(free_blocks.size)
+                self._free_arr[: self._count] = free_blocks
+            self._pos[self._free_arr[: self._count]] = np.arange(
+                self._count, dtype=np.int64
+            )
         else:
-            used = _unpack_bitmap(num_blocks, allocated_bitmap)
-            free_blocks = np.nonzero(~used)[0].astype(np.int64)
-            self._count = int(free_blocks.size)
-            self._free_arr[: self._count] = free_blocks
-        self._pos[self._free_arr[: self._count]] = np.arange(
-            self._count, dtype=np.int64
-        )
+            if allocated_bitmap is None:
+                free_blocks = list(range(num_blocks))
+            else:
+                used = _unpack_bitmap_py(num_blocks, allocated_bitmap)
+                free_blocks = [b for b in range(num_blocks) if not used[b]]
+            self._count = len(free_blocks)
+            self._free_arr = free_blocks + [0] * (num_blocks - self._count)
+            self._pos = [-1] * num_blocks
+            for index, block in enumerate(free_blocks):
+                self._pos[block] = index
 
     def allocate(self) -> int:
         x = self._count

@@ -4,13 +4,17 @@ The paper resolves the public-overwrites-hidden problem by keeping one
 global bitmap in the block layer that tracks blocks used by public, hidden
 *and* dummy data (Sec. IV-A Q3). This class is that bitmap; the thin pool
 persists it in the metadata device.
+
+Bulk queries (iteration, load-time popcount) run on NumPy when the
+vectorized core is enabled and fall back to pure-Python bit twiddling
+otherwise; single-bit operations are plain Python either way.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-import numpy as np
+from repro.util.npgate import np, vector_enabled
 
 
 class Bitmap:
@@ -60,16 +64,28 @@ class Bitmap:
         self._bits[index >> 3] &= ~(1 << (index & 7)) & 0xFF
         self._allocated -= 1
 
-    def _bits_array(self) -> "np.ndarray":
+    def _bits_array(self):
         return np.unpackbits(
             np.frombuffer(bytes(self._bits), dtype=np.uint8), bitorder="little"
         )[: self._size]
 
     def iter_allocated(self) -> Iterator[int]:
-        yield from (int(i) for i in np.nonzero(self._bits_array())[0])
+        if vector_enabled():
+            yield from (int(i) for i in np.nonzero(self._bits_array())[0])
+            return
+        bits = self._bits
+        for i in range(self._size):
+            if bits[i >> 3] & (1 << (i & 7)):
+                yield i
 
     def iter_free(self) -> Iterator[int]:
-        yield from (int(i) for i in np.nonzero(self._bits_array() == 0)[0])
+        if vector_enabled():
+            yield from (int(i) for i in np.nonzero(self._bits_array() == 0)[0])
+            return
+        bits = self._bits
+        for i in range(self._size):
+            if not bits[i >> 3] & (1 << (i & 7)):
+                yield i
 
     # -- serialization -------------------------------------------------------
 
@@ -87,9 +103,12 @@ class Bitmap:
         for i in range(size, expected * 8):
             if data[i >> 3] & (1 << (i & 7)):
                 raise ValueError("bitmap has pad bits set beyond its size")
-        bm._allocated = int(
-            np.unpackbits(np.frombuffer(data, dtype=np.uint8)).sum()
-        )
+        if vector_enabled():
+            bm._allocated = int(
+                np.unpackbits(np.frombuffer(data, dtype=np.uint8)).sum()
+            )
+        else:
+            bm._allocated = sum(bin(byte).count("1") for byte in data)
         return bm
 
     def copy(self) -> "Bitmap":

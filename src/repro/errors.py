@@ -238,3 +238,17 @@ class TraceFormatError(WorkloadError):
 
 class ObsError(ReproError):
     """Base class for observability (``repro.obs``) failures."""
+
+
+# ---------------------------------------------------------------------------
+# Optional acceleration
+# ---------------------------------------------------------------------------
+
+
+class MissingNumpyError(ReproError):
+    """A NumPy-only feature was requested but NumPy is unavailable.
+
+    Raised by :func:`repro.util.npgate.require_numpy` with a message that
+    names the feature and points at either installing NumPy or setting
+    ``REPRO_NO_NUMPY=1`` to force the pure-Python reference core.
+    """

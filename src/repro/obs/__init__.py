@@ -41,6 +41,7 @@ from repro.obs.recorder import (
     mark,
     observe,
     observe_latency,
+    observe_latency_batch,
     publish_io,
     span,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "mark",
     "observe",
     "observe_latency",
+    "observe_latency_batch",
     "publish_io",
     "span",
     "attribution",

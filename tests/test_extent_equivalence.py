@@ -6,6 +6,15 @@ at every layer — only wall-clock time may change. These properties drive
 random op mixes through two identically-seeded stacks, one using the
 extent path and one forced through the legacy per-block decomposition
 via :func:`per_block_baseline`, and require bit-exact agreement.
+
+The vectorized NumPy core adds a second axis to the same invariant: the
+batched keystream / cost-replay / allocator code must be unobservable
+next to the pure-Python reference core (:func:`reference_core`). The
+``*_core_equivalence`` tests run every stack through the full cross
+product {numpy, reference} x {extent, per-block} and require one single
+signature; under ``REPRO_NO_NUMPY=1`` the numpy leg degenerates to the
+reference leg and the tests still pass (trivially), so the battery is
+valid in both CI matrix legs.
 """
 
 import hashlib
@@ -19,13 +28,16 @@ from repro.blockdev import (
     SimClock,
     per_block_baseline,
 )
+from repro.blockdev.faults import FaultPlan, FaultyBlockDevice
 from repro.blockdev.trace import TracingDevice
 from repro.crypto.rng import Rng
 from repro.dm import create_crypt_device
 from repro.dm.crypt import NEXUS4_CRYPTO_BYTE_COST_S
 from repro.dm.thin import ThinPool
 from repro.dm.thin.pool import ThinCosts
+from repro.errors import PowerCutError, TransientIOError
 from repro.fs.ext4 import Ext4Filesystem
+from repro.util.npgate import reference_core
 
 BS = 4096
 VOLUME_BLOCKS = 64
@@ -188,3 +200,245 @@ def test_ext4_extent_equivalence(seed, journal, ops):
 
     assert fast_reads == slow_reads
     assert _fs_signature(fast) == _fs_signature(slow)
+
+
+# ---------------------------------------------------------------------------
+# NumPy core vs pure-Python reference core
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), ops=op_lists)
+def test_block_stack_core_equivalence(seed, ops):
+    """crypt-thin-eMMC under {numpy, reference} x {extent, per-block}.
+
+    The vectorized keystream engine, batched cost replay and array-backed
+    allocator must land on the same bytes, stats and simulated clock as
+    the pure-Python reference — one signature across all four legs.
+    """
+    legs = []
+    for use_reference in (False, True):
+        for use_per_block in (False, True):
+            stack = _build_block_stack(seed)
+            if use_reference:
+                with reference_core():
+                    if use_per_block:
+                        with per_block_baseline():
+                            reads = _run_block_ops(stack, ops)
+                    else:
+                        reads = _run_block_ops(stack, ops)
+            elif use_per_block:
+                with per_block_baseline():
+                    reads = _run_block_ops(stack, ops)
+            else:
+                reads = _run_block_ops(stack, ops)
+            legs.append((reads, _block_signature(stack)))
+    assert all(leg == legs[0] for leg in legs[1:])
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), journal=st.booleans(), ops=fs_op_lists)
+def test_ext4_core_equivalence(seed, journal, ops):
+    """ext4-over-crypt-over-eMMC: numpy core == reference core, bit-exact."""
+    fast = _build_fs_stack(seed, journal)
+    fast_reads = _run_fs_ops(fast, ops)
+
+    ref = _build_fs_stack(seed, journal)
+    with reference_core():
+        ref_reads = _run_fs_ops(ref, ops)
+
+    assert fast_reads == ref_reads
+    assert _fs_signature(fast) == _fs_signature(ref)
+
+
+def test_edge_extents_all_cores():
+    """Zero-length, single-block, partial-tail and clamped extents.
+
+    Deterministic sweep of the shapes Hypothesis hits rarely: empty
+    payloads (no-ops at the entry point), one-block extents below the
+    batching cutoff, tails clamped at the volume end, and a misaligned
+    run that crosses provisioning boundaries mid-extent.
+    """
+    edge_ops = [
+        (True, VOLUME_BLOCKS - 1, 24),   # clamps to a single tail block
+        (False, 0, 1),                   # single-block read
+        (True, 0, 1),                    # single-block write
+        (False, VOLUME_BLOCKS - 3, 17),  # partial tail, clamped mid-extent
+        (True, 5, 23),                   # misaligned start, odd length
+        (False, 5, 23),
+        (True, 0, VOLUME_BLOCKS),        # whole volume in one extent
+        (False, 0, VOLUME_BLOCKS),
+    ]
+
+    def run(stack):
+        reads = _run_block_ops(stack, edge_ops)
+        clock, emmc, pool, crypt = stack
+        # explicit zero-length extents: must be byte-free no-ops
+        assert crypt.read_blocks(3, 0) == b""
+        crypt.write_blocks(3, b"")
+        return reads
+
+    legs = []
+    for use_reference in (False, True):
+        for use_per_block in (False, True):
+            stack = _build_block_stack(424242)
+            if use_reference:
+                with reference_core():
+                    if use_per_block:
+                        with per_block_baseline():
+                            reads = run(stack)
+                    else:
+                        reads = run(stack)
+            elif use_per_block:
+                with per_block_baseline():
+                    reads = run(stack)
+            else:
+                reads = run(stack)
+            legs.append((reads, _block_signature(stack)))
+    assert all(leg == legs[0] for leg in legs[1:])
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection interleavings
+# ---------------------------------------------------------------------------
+
+
+def _build_faulty_stack(seed: int, plan: FaultPlan):
+    """eMMC <- fault wrapper <- thin pool <- dm-crypt, plan armed."""
+    clock = SimClock()
+    emmc = EMMCDevice(
+        192, clock=clock, latency=LATENCY, jitter=0.2, jitter_rng=Rng(seed)
+    )
+    faulty = FaultyBlockDevice(emmc, plan=plan)
+    pool = ThinPool.format(
+        RAMBlockDevice(16), faulty,
+        allocation="random", rng=Rng(seed + 1),
+        clock=clock, costs=THIN_COSTS,
+    )
+    pool.create_thin(1, VOLUME_BLOCKS)
+    crypt = create_crypt_device(
+        "c", pool.get_thin(1), key=bytes(range(32)), clock=clock,
+        crypto_byte_cost_s=NEXUS4_CRYPTO_BYTE_COST_S,
+    )
+    return clock, emmc, faulty, pool, crypt
+
+
+def _run_faulty_ops(stack, ops):
+    """Drive *ops*, recording each op's fault outcome in order."""
+    clock, emmc, faulty, pool, crypt = stack
+    outcomes = []
+    for tag, (is_write, start, count) in enumerate(ops):
+        count = min(count, VOLUME_BLOCKS - start)
+        if count <= 0:
+            continue
+        try:
+            if is_write:
+                crypt.write_blocks(start, _payload(tag, count))
+                outcomes.append(("w-ok", tag))
+            else:
+                outcomes.append(("r", tag, crypt.read_blocks(start, count)))
+        except TransientIOError as exc:
+            outcomes.append(("transient", tag, str(exc)))
+        except PowerCutError:
+            outcomes.append(("power-cut", tag, faulty.writes_since_arm))
+            faulty.revive(disarm=False)
+    return outcomes
+
+
+def _faulty_signature(stack, cross_path=False):
+    """Observable state after a faulted run.
+
+    With *cross_path* the upper-layer IOStats are left out: when a fault
+    kills an op mid-extent, the per-block path has already booked the
+    completed blocks at layers above the fault while the extent path
+    books only on full success — a long-standing (and documented-here)
+    semantic difference of exceptional partial completion, orthogonal to
+    the numpy/reference core split. Leaf stats, the simulated clock, the
+    medium image and all fault bookkeeping must still agree exactly.
+    """
+    clock, emmc, faulty, pool, crypt = stack
+    sig = [
+        clock.now,
+        hashlib.sha256(emmc.raw_bytes()).hexdigest(),
+        emmc.stats.as_dict(),
+        faulty.writes_since_arm,
+        faulty.torn_write,
+        faulty.dropped_writes,
+        faulty.plan.errors_injected if faulty.plan else None,
+    ]
+    if not cross_path:
+        sig.append(crypt.stats.as_dict())
+    return tuple(sig)
+
+
+faulty_op_lists = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, VOLUME_BLOCKS - 1),
+        st.integers(1, 24),
+    ),
+    min_size=3,
+    max_size=10,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ops=faulty_op_lists,
+    cut_after=st.one_of(st.none(), st.integers(0, 80)),
+    error_rate=st.sampled_from([0.0, 0.05, 0.2]),
+)
+def test_faulty_interleaving_equivalence(seed, ops, cut_after, error_rate):
+    """Armed fault plans: every core x path leg sees the same failures.
+
+    An armed :class:`FaultyBlockDevice` decomposes extents per block and
+    draws from the plan RNG per op, so transient errors, power cuts and
+    torn writes must land at identical indices whether the surrounding
+    stack batches its replay or not, on either core. Core equivalence
+    (numpy vs reference) is asserted on the full signature; the extent
+    vs per-block comparison drops upper-layer stats (see
+    :func:`_faulty_signature`).
+    """
+
+    def plan():
+        return FaultPlan(
+            seed=seed,
+            power_cut_after_writes=cut_after,
+            torn_writes=True,
+            write_error_rate=error_rate,
+            read_error_rate=error_rate / 2,
+            transient_error_budget=4,
+        )
+
+    legs = {}
+    for use_reference in (False, True):
+        for use_per_block in (False, True):
+            stack = _build_faulty_stack(seed, plan())
+            if use_reference:
+                with reference_core():
+                    if use_per_block:
+                        with per_block_baseline():
+                            out = _run_faulty_ops(stack, ops)
+                    else:
+                        out = _run_faulty_ops(stack, ops)
+            elif use_per_block:
+                with per_block_baseline():
+                    out = _run_faulty_ops(stack, ops)
+            else:
+                out = _run_faulty_ops(stack, ops)
+            legs[(use_reference, use_per_block)] = (out, stack)
+
+    # core equivalence: full signature, per path mode
+    for per_block in (False, True):
+        numpy_out, numpy_stack = legs[(False, per_block)]
+        ref_out, ref_stack = legs[(True, per_block)]
+        assert numpy_out == ref_out
+        assert _faulty_signature(numpy_stack) == _faulty_signature(ref_stack)
+
+    # path equivalence: outcomes, clock, image, leaf stats, fault state
+    base_out, base_stack = legs[(False, False)]
+    base_sig = _faulty_signature(base_stack, cross_path=True)
+    for key, (out, stack) in legs.items():
+        assert out == base_out, key
+        assert _faulty_signature(stack, cross_path=True) == base_sig, key
