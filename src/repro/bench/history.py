@@ -130,6 +130,31 @@ def experiment_metrics(payload: Mapping[str, object]) -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 
+def _local_git_sha() -> str:
+    """The working tree's short commit id, or ``"unknown"``.
+
+    Used when ``REPRO_GIT_SHA`` isn't set (i.e. outside CI): local bench
+    history records still attribute runs to commits. Any failure — no git
+    binary, not a repository, timeout — degrades to ``"unknown"`` rather
+    than erroring, because history is bookkeeping, not a gate.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    if proc.returncode != 0 or not sha:
+        return "unknown"
+    return sha
+
+
 def history_record(
     payload: Mapping[str, object],
     experiment: Optional[str] = None,
@@ -139,12 +164,16 @@ def history_record(
 
     Deterministic by construction: the record is keyed by schema version,
     seed and commit, never by wall-clock time. *git_sha* defaults to the
-    ``REPRO_GIT_SHA`` environment variable (set by CI), else ``None``.
+    ``REPRO_GIT_SHA`` environment variable (set by CI), then the working
+    tree's ``git rev-parse --short HEAD``, then ``"unknown"`` outside a
+    repository.
     """
     if experiment is None:
         experiment = str(payload.get("experiment", "unknown"))
     if git_sha is None:
         git_sha = os.environ.get("REPRO_GIT_SHA")
+    if git_sha is None:
+        git_sha = _local_git_sha()
     params = payload.get("params")
     seed = params.get("seed") if isinstance(params, Mapping) else None
     return {

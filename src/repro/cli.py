@@ -10,7 +10,8 @@ Usage::
     python -m repro crashsim [--scenario NAME] [--stride N]
     python -m repro workload [--personality NAME] [--trace-out FILE]
     python -m repro replay FILE [--setting NAME]
-    python -m repro fleet [--devices N] [--processes N]
+    python -m repro fleet [--devices N] [--processes N] [--stream-dir DIR]
+    python -m repro top DIR [--follow]
     python -m repro trace [--format chrome] [--out FILE]
     python -m repro metrics
     python -m repro profile [--workload NAME] [--wall] [--out DIR]
@@ -623,9 +624,62 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         userdata_blocks=_userdata_blocks(args),
         processes=args.processes,
     )
-    payload = run_fleet(fleet)
+    payload = run_fleet(
+        fleet,
+        stream_dir=args.stream_dir,
+        max_inflight_reports=args.max_inflight_reports,
+    )
     print(render_fleet_report(payload))
+    if args.stream_dir:
+        from repro.obs import health as obs_health
+
+        stream = payload["stream"]
+        print(
+            f"[telemetry stream: {stream['dir']} — {stream['events']} "
+            f"events, {stream['finished']} finished, "
+            f"{stream['crashed']} crashed]"
+        )
+        summaries = payload["devices"]
+        medians = obs_health.fleet_medians(summaries)
+        scores = obs_health.score_devices(summaries, medians)
+        health = obs_health.health_payload(
+            scores, medians, params=dict(payload["params"])
+        )
+        print(obs_health.render_health(health))
+        events_path = obs_health.write_health_events(args.stream_dir, scores)
+        print(f"[health events: {events_path}]")
+        _write_json(args, "fleet_health", health)
     _write_json(args, "fleet", payload)
+
+
+def _cmd_top(args: argparse.Namespace) -> None:
+    import itertools
+    import time
+
+    directory = pathlib.Path(args.stream_dir)
+    if args.follow:
+        ticks = (
+            itertools.count()
+            if args.iterations <= 0
+            else range(args.iterations)
+        )
+    else:
+        ticks = range(1)
+    try:
+        for i in ticks:
+            if i:
+                time.sleep(args.interval)
+                print()
+            if directory.is_dir():
+                print(
+                    obs.render_top(
+                        obs.scan_spools(directory), max_rows=args.rows
+                    )
+                )
+            else:
+                print(f"(no spool directory at {directory} yet)")
+    except KeyboardInterrupt:
+        pass
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -783,9 +837,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None,
         help="worker processes (default: min(devices, cores); 1 = serial)",
     )
+    p.add_argument(
+        "--stream-dir", default=None, metavar="DIR",
+        help="stream telemetry.v1 spools (one JSONL file per device) "
+        "under DIR and fold the merged telemetry incrementally from them "
+        "— bounded memory no matter the fleet size; also scores fleet "
+        "health (health.jsonl + BENCH_fleet_health.json) and makes the "
+        "run tailable with `repro top DIR`",
+    )
+    p.add_argument(
+        "--max-inflight-reports", type=int, default=None, metavar="N",
+        help="on the legacy in-RAM path, warn loudly when the fleet "
+        "holds more than N device reports at once (the streaming path "
+        "never does)",
+    )
     _add_userdata_mib(p)
     _add_json_dir(p)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "top",
+        help="live monitor of a streaming fleet's telemetry spools",
+    )
+    p.add_argument(
+        "stream_dir", metavar="DIR",
+        help="spool directory a `repro fleet --stream-dir DIR` writes to",
+    )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="keep refreshing instead of printing one snapshot",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes with --follow (default 1)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=0,
+        help="refresh count with --follow (0 = until interrupted)",
+    )
+    p.add_argument(
+        "--rows", type=int, default=40,
+        help="device rows shown before folding (default 40)",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "trace", help="span tree of an observed end-to-end PDE session"

@@ -74,6 +74,33 @@ from repro.obs.chrometrace import (
     validate_trace_events,
 )
 from repro.obs.flame import folded_stacks, parse_folded, render_folded
+from repro.obs.sketch import (
+    HistogramSketch,
+    MetricSnapshot,
+    QuantileSketch,
+    median,
+)
+from repro.obs.stream import (
+    HEALTH_SCHEMA,
+    TELEMETRY_SCHEMA,
+    DeviceTelemetryStreamer,
+    ReducedStream,
+    SpoolWriter,
+    reduce_spools,
+    render_top,
+    scan_spools,
+    spool_path,
+    validate_event,
+)
+from repro.obs.health import (
+    DeviceHealth,
+    fleet_medians,
+    health_events,
+    health_payload,
+    render_health,
+    score_devices,
+    write_health_events,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -119,4 +146,25 @@ __all__ = [
     "render_span_aggregates",
     "render_span_tree",
     "write_bench_json",
+    "HistogramSketch",
+    "MetricSnapshot",
+    "QuantileSketch",
+    "median",
+    "HEALTH_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "DeviceTelemetryStreamer",
+    "ReducedStream",
+    "SpoolWriter",
+    "reduce_spools",
+    "render_top",
+    "scan_spools",
+    "spool_path",
+    "validate_event",
+    "DeviceHealth",
+    "fleet_medians",
+    "health_events",
+    "health_payload",
+    "render_health",
+    "score_devices",
+    "write_health_events",
 ]

@@ -74,58 +74,179 @@ def bench_payload(
     return payload
 
 
-def _merge_histograms(
-    histograms: List[Dict[str, object]]
-) -> Dict[str, object]:
-    """Merge serialized histogram dicts (summed buckets, recomputed stats).
+class _HistogramFold:
+    """Incremental fold of serialized histogram dicts for one metric name.
 
-    Percentiles are re-estimated from the merged labeled buckets with the
-    same interpolation :class:`~repro.obs.metrics.Histogram` uses, clamped
-    to the merged min/max (the ``inf`` overflow bucket clamps to the max).
+    Accumulates counts, totals, extremes and labeled buckets one shard at
+    a time — the same left-to-right float additions the old list-then-sum
+    merge performed, so folding incrementally is bit-identical to folding
+    from a materialized list. Percentiles are re-estimated at
+    :meth:`result` time from the merged labeled buckets with the same
+    interpolation :class:`~repro.obs.metrics.Histogram` uses, clamped to
+    the merged min/max (the ``inf`` overflow bucket clamps to the max).
     """
-    count = sum(int(h["count"]) for h in histograms)
-    if count == 0:
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.buckets: Dict[str, int] = {}
+
+    def add(self, hist: Dict[str, object]) -> None:
+        count = int(hist["count"])
+        self.count += count
+        self.total += float(hist["mean_s"]) * count
+        if count:
+            low = float(hist["min_s"])
+            if low < self.minimum:
+                self.minimum = low
+            high = float(hist["max_s"])
+            if high > self.maximum:
+                self.maximum = high
+        for label, n in hist.get("buckets", {}).items():
+            self.buckets[label] = self.buckets.get(label, 0) + int(n)
+
+    def result(self) -> Dict[str, object]:
+        if self.count == 0:
+            return {
+                "count": 0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0,
+                "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "buckets": {},
+            }
+
+        def bound(label: str) -> float:
+            return math.inf if label == "inf" else float(label)
+
+        ordered = sorted(self.buckets.items(), key=lambda item: bound(item[0]))
+        minimum, maximum, count = self.minimum, self.maximum, self.count
+
+        def percentile(q: float) -> float:
+            target = q * count
+            cumulative = 0
+            previous_bound = minimum
+            for label, n in ordered:
+                cumulative += n
+                hi = min(bound(label), maximum)
+                if cumulative >= target:
+                    fraction = (target - (cumulative - n)) / n
+                    value = previous_bound + fraction * (hi - previous_bound)
+                    return min(max(value, minimum), maximum)
+                previous_bound = hi
+            return maximum  # pragma: no cover - cumulative always reaches
+
         return {
-            "count": 0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0,
-            "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "buckets": {},
+            "count": count,
+            "mean_s": self.total / count,
+            "min_s": minimum,
+            "max_s": maximum,
+            "p50_s": percentile(0.50),
+            "p95_s": percentile(0.95),
+            "p99_s": percentile(0.99),
+            "buckets": {label: n for label, n in ordered},
         }
-    total = sum(float(h["mean_s"]) * int(h["count"]) for h in histograms)
-    minimum = min(float(h["min_s"]) for h in histograms if int(h["count"]))
-    maximum = max(float(h["max_s"]) for h in histograms if int(h["count"]))
-    buckets: Dict[str, int] = {}
-    for h in histograms:
-        for label, n in h.get("buckets", {}).items():
-            buckets[label] = buckets.get(label, 0) + int(n)
 
-    def bound(label: str) -> float:
-        return math.inf if label == "inf" else float(label)
 
-    ordered = sorted(buckets.items(), key=lambda item: bound(item[0]))
+class PayloadAccumulator:
+    """Incremental merge of per-device :func:`recorder_payload` dicts.
 
-    def percentile(q: float) -> float:
-        target = q * count
-        cumulative = 0
-        previous_bound = minimum
-        for label, n in ordered:
-            cumulative += n
-            hi = min(bound(label), maximum)
-            if cumulative >= target:
-                fraction = (target - (cumulative - n)) / n
-                value = previous_bound + fraction * (hi - previous_bound)
-                return min(max(value, minimum), maximum)
-            previous_bound = hi
-        return maximum  # pragma: no cover - cumulative always reaches
+    The streaming reducer's core: :meth:`add` folds one device's payload
+    at a time, so merging N devices needs memory proportional to the
+    metric-name universe (plus one float per device per gauge for the
+    ``gauges_per_device`` section), never to N full payloads.
+    :func:`merge_recorder_payloads` is this class applied to a
+    materialized list — the two produce byte-identical output because the
+    accumulator performs the identical float additions in the identical
+    order.
 
-    return {
-        "count": count,
-        "mean_s": total / count,
-        "min_s": minimum,
-        "max_s": maximum,
-        "p50_s": percentile(0.50),
-        "p95_s": percentile(0.95),
-        "p99_s": percentile(0.99),
-        "buckets": {label: n for label, n in ordered},
-    }
+    Counters, marks, I/O tallies and span counts/totals are summed;
+    span/histogram means are recomputed from the merged sums; histogram
+    percentiles are re-estimated from the merged buckets; gauges
+    (point-in-time values such as bitmap occupancy) are averaged across
+    the devices that reported them, with per-device values preserved in
+    ``gauges_per_device``.
+    """
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, Dict[str, float]] = {}
+        self._marks: Dict[str, int] = {}
+        self._counters: Dict[str, float] = {}
+        self._gauge_values: Dict[str, List[float]] = {}
+        self._histograms: Dict[str, _HistogramFold] = {}
+        self._io_events = 0
+        self._io_by_op: Dict[str, int] = {}
+        self._added = 0
+
+    @property
+    def merged_count(self) -> int:
+        return self._added
+
+    def add(self, payload: Dict[str, object]) -> None:
+        """Fold one device's payload; refuses cross-schema merges."""
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ObsError(
+                f"payload {self._added} has schema_version {version!r}, "
+                f"expected {SCHEMA_VERSION}; refusing to merge across "
+                "schema versions"
+            )
+        for name, agg in payload.get("spans", {}).items():
+            out = self._spans.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            out["count"] += agg["count"]
+            out["total_s"] += agg["total_s"]
+            out["max_s"] = max(out["max_s"], agg["max_s"])
+        for name, hits in payload.get("marks", {}).items():
+            self._marks[name] = self._marks.get(name, 0) + hits
+        metrics = payload.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        for name, value in metrics.get("gauges", {}).items():
+            self._gauge_values.setdefault(name, []).append(value)
+        for name, hist in metrics.get("histograms", {}).items():
+            fold = self._histograms.get(name)
+            if fold is None:
+                fold = self._histograms[name] = _HistogramFold()
+            fold.add(hist)
+        io = payload.get("io", {})
+        self._io_events += io.get("events", 0)
+        for op, n in io.get("by_op", {}).items():
+            self._io_by_op[op] = self._io_by_op.get(op, 0) + n
+        self._added += 1
+
+    def result(self) -> Dict[str, object]:
+        """The merged aggregate payload (same shape every device emits)."""
+        spans = {
+            name: dict(agg) for name, agg in self._spans.items()
+        }
+        for agg in spans.values():
+            agg["mean_s"] = (
+                agg["total_s"] / agg["count"] if agg["count"] else 0.0
+            )
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "merged_from": self._added,
+            "spans": spans,
+            "marks": dict(self._marks),
+            "metrics": {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": {
+                    name: sum(values) / len(values)
+                    for name, values in sorted(self._gauge_values.items())
+                },
+                "gauges_per_device": {
+                    name: list(values)
+                    for name, values in sorted(self._gauge_values.items())
+                },
+                "histograms": {
+                    name: fold.result()
+                    for name, fold in sorted(self._histograms.items())
+                },
+            },
+            "io": {"events": self._io_events, "by_op": dict(self._io_by_op)},
+        }
 
 
 def merge_recorder_payloads(
@@ -133,70 +254,16 @@ def merge_recorder_payloads(
 ) -> Dict[str, object]:
     """Merge per-device :func:`recorder_payload` dicts into one aggregate.
 
-    This is how the fleet runner folds N independent observations into a
-    single report: counters, marks, I/O tallies and span counts/totals are
-    summed; span/histogram means are recomputed from the merged sums;
-    histogram percentiles are re-estimated from the merged buckets; gauges
-    (point-in-time values such as bitmap occupancy) are averaged across
-    the devices that reported them, with per-device values preserved in
-    ``gauges_per_device``.
+    This is how the legacy (hold-everything) fleet path folds N
+    materialized observations into a single report; the streaming path
+    (:func:`repro.obs.stream.reduce_spools`) drives the same
+    :class:`PayloadAccumulator` one spooled payload at a time and produces
+    byte-identical output.
     """
-    for i, payload in enumerate(payloads):
-        version = payload.get("schema_version")
-        if version != SCHEMA_VERSION:
-            raise ObsError(
-                f"payload {i} has schema_version {version!r}, expected "
-                f"{SCHEMA_VERSION}; refusing to merge across schema versions"
-            )
-    spans: Dict[str, Dict[str, float]] = {}
-    marks: Dict[str, int] = {}
-    counters: Dict[str, float] = {}
-    gauge_values: Dict[str, List[float]] = {}
-    histogram_parts: Dict[str, List[Dict[str, object]]] = {}
-    io_events = 0
-    io_by_op: Dict[str, int] = {}
+    accumulator = PayloadAccumulator()
     for payload in payloads:
-        for name, agg in payload.get("spans", {}).items():
-            out = spans.setdefault(
-                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
-            )
-            out["count"] += agg["count"]
-            out["total_s"] += agg["total_s"]
-            out["max_s"] = max(out["max_s"], agg["max_s"])
-        for name, hits in payload.get("marks", {}).items():
-            marks[name] = marks.get(name, 0) + hits
-        metrics = payload.get("metrics", {})
-        for name, value in metrics.get("counters", {}).items():
-            counters[name] = counters.get(name, 0.0) + value
-        for name, value in metrics.get("gauges", {}).items():
-            gauge_values.setdefault(name, []).append(value)
-        for name, hist in metrics.get("histograms", {}).items():
-            histogram_parts.setdefault(name, []).append(hist)
-        io = payload.get("io", {})
-        io_events += io.get("events", 0)
-        for op, n in io.get("by_op", {}).items():
-            io_by_op[op] = io_by_op.get(op, 0) + n
-    for agg in spans.values():
-        agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "merged_from": len(payloads),
-        "spans": spans,
-        "marks": marks,
-        "metrics": {
-            "counters": dict(sorted(counters.items())),
-            "gauges": {
-                name: sum(values) / len(values)
-                for name, values in sorted(gauge_values.items())
-            },
-            "gauges_per_device": dict(sorted(gauge_values.items())),
-            "histograms": {
-                name: _merge_histograms(parts)
-                for name, parts in sorted(histogram_parts.items())
-            },
-        },
-        "io": {"events": io_events, "by_op": io_by_op},
-    }
+        accumulator.add(payload)
+    return accumulator.result()
 
 
 def dump_json(payload: Dict[str, object]) -> str:

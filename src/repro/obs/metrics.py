@@ -135,6 +135,33 @@ class Histogram:
             arr = self._bounds_cache = np.asarray(self._bounds, dtype=np.float64)
         return arr
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram exactly, in place.
+
+        Both histograms must share the same bucket bounds: counts sum
+        bucket by bucket (no re-bucketing, so nothing is lost), min/max
+        take the extremes, and the running totals add. Returns ``self``.
+        Counts, min and max merge exactly order-independently; the float
+        ``total`` is a single IEEE addition per merge — when shard-merge
+        order must be *bit*-unobservable, merge through
+        :class:`repro.obs.sketch.HistogramSketch`, which carries an exact
+        rational total.
+        """
+        if other._bounds != self._bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                "bucket bounds differ"
+            )
+        for i, n in enumerate(other._counts):
+            self._counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
     # -- derived statistics -------------------------------------------------
 
     @property

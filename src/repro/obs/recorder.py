@@ -117,6 +117,8 @@ class Recorder:
         self.gauge_samples: List[GaugeSample] = []
         self.metrics = MetricRegistry()
         self._stack: List[int] = []
+        #: mark listeners (see :meth:`add_listener`); empty = zero cost
+        self._listeners: List = []
 
     # -- time ---------------------------------------------------------------
 
@@ -133,9 +135,23 @@ class Recorder:
         return _ActiveSpan(self, name, clock, attrs)
 
     def mark(self, name: str, clock=None) -> None:
-        self.marks.append(
-            MarkRecord(name, self._now(clock), wall=self._wall_now())
-        )
+        record = MarkRecord(name, self._now(clock), wall=self._wall_now())
+        self.marks.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def add_listener(self, listener) -> None:
+        """Subscribe *listener* to every mark recorded from now on.
+
+        Listeners receive the :class:`MarkRecord` synchronously, after it
+        lands on the timeline. They must not mutate recorder state —
+        marks are the stack's densest interception sites, which makes
+        them the natural heartbeat for incremental telemetry emission
+        (:class:`repro.obs.stream.DeviceTelemetryStreamer` hooks here).
+        With no listeners registered the hook costs one empty-list
+        iteration per mark.
+        """
+        self._listeners.append(listener)
 
     def record_io(self, event) -> None:
         self.io_events.append(event)

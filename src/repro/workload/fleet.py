@@ -17,17 +17,21 @@ seed, whether the fleet ran serially or across processes.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import multiprocessing
 import os
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import WorkloadError
 from repro.obs.export import SCHEMA_VERSION, merge_recorder_payloads
+from repro.obs.stream import reduce_spools
 from repro.workload.runner import (
     DEFAULT_USERDATA_BLOCKS,
     DeviceSpec,
     run_device,
+    run_device_streamed,
 )
 
 
@@ -78,36 +82,89 @@ def _pool_context():
     )
 
 
-def run_fleet(fleet: FleetSpec) -> Dict[str, object]:
+def _map_devices(
+    worker: Callable[[DeviceSpec], Dict[str, object]],
+    specs: List[DeviceSpec],
+    processes: Optional[int],
+) -> List[Dict[str, object]]:
+    """Run *worker* over every spec, pooled or serial, in device order."""
+    if processes is None:
+        processes = min(len(specs), os.cpu_count() or 1)
+    if processes <= 1 or len(specs) == 1:
+        return [worker(spec) for spec in specs]
+    try:
+        with _pool_context().Pool(processes=processes) as pool:
+            return pool.map(worker, specs)
+    except (OSError, PermissionError):
+        # sandboxed environments may forbid forking worker processes;
+        # the serial path produces the identical merged report
+        return [worker(spec) for spec in specs]
+
+
+def run_fleet(
+    fleet: FleetSpec,
+    stream_dir=None,
+    max_inflight_reports: Optional[int] = None,
+) -> Dict[str, object]:
     """Execute every device of *fleet* and merge the reports.
 
     Devices run across a process pool (``fleet.processes`` workers; pass 1
     to force the serial path — results are identical either way). The
     returned payload carries the ordered per-device reports, fleet-level
     totals, and the merged observability section.
+
+    With *stream_dir* set, workers stream ``telemetry.v1`` spools there
+    and the merged observability section is folded incrementally from the
+    spools (:func:`repro.obs.stream.reduce_spools`) — byte-identical to
+    the in-RAM merge, but in O(metric names) memory instead of holding
+    every device's report at once. The legacy in-RAM path accepts
+    *max_inflight_reports* as a guard: fleets larger than it still run,
+    but with a loud :class:`RuntimeWarning` pointing at the streaming
+    path instead of silently marching toward OOM.
     """
     fleet.validate()
     specs = device_specs(fleet)
-    processes = fleet.processes
-    if processes is None:
-        processes = min(len(specs), os.cpu_count() or 1)
-    if processes <= 1 or len(specs) == 1:
-        reports = [run_device(spec) for spec in specs]
-    else:
-        try:
-            with _pool_context().Pool(processes=processes) as pool:
-                reports = pool.map(run_device, specs)
-        except (OSError, PermissionError):
-            # sandboxed environments may forbid forking worker processes;
-            # the serial path produces the identical merged report
-            reports = [run_device(spec) for spec in specs]
+    if stream_dir is not None:
+        return _run_fleet_streamed(fleet, specs, stream_dir)
+    if max_inflight_reports is not None and len(specs) > max_inflight_reports:
+        warnings.warn(
+            f"fleet of {len(specs)} devices exceeds max_inflight_reports="
+            f"{max_inflight_reports}: the in-RAM merge holds every device "
+            "report simultaneously; run with stream_dir= "
+            "(repro fleet --stream-dir) for bounded-memory telemetry",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    reports = _map_devices(run_device, specs, fleet.processes)
     return merge_reports(fleet, reports)
 
 
-def merge_reports(
-    fleet: FleetSpec, reports: List[Dict[str, object]]
+def _run_fleet_streamed(
+    fleet: FleetSpec, specs: List[DeviceSpec], stream_dir
 ) -> Dict[str, object]:
-    """Merge ordered per-device reports into the aggregate fleet payload."""
+    """The bounded-memory fleet path: spool per device, reduce after."""
+    worker = functools.partial(run_device_streamed, stream_dir=stream_dir)
+    summaries = _map_devices(worker, specs, fleet.processes)
+    reduced = reduce_spools(stream_dir)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": "fleet",
+        "params": dataclasses.asdict(fleet),
+        "devices": summaries,
+        "totals": _totals(summary["result"] for summary in summaries),
+        "obs_merged": reduced.merged,
+        "stream": {
+            "dir": str(stream_dir),
+            "events": reduced.events,
+            "by_event": dict(sorted(reduced.by_event.items())),
+            "finished": reduced.finished,
+            "crashed": reduced.crashed,
+        },
+    }
+
+
+def _totals(results: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Fleet-level totals over per-device workload result dicts."""
     totals = {
         "ops": 0,
         "bytes_written": 0,
@@ -119,8 +176,7 @@ def merge_reports(
         "busy_s_total": 0.0,
         "write_mb_s_sum": 0.0,
     }
-    for report in reports:
-        result = report["result"]
+    for result in results:
         totals["ops"] += result["ops"]
         totals["bytes_written"] += result["bytes_written"]
         totals["bytes_read"] += result["bytes_read"]
@@ -132,6 +188,14 @@ def merge_reports(
         )
         totals["busy_s_total"] += result["busy_s"]
         totals["write_mb_s_sum"] += result["write_mb_s"]
+    return totals
+
+
+def merge_reports(
+    fleet: FleetSpec, reports: List[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge ordered per-device reports into the aggregate fleet payload."""
+    totals = _totals(report["result"] for report in reports)
     return {
         "schema_version": SCHEMA_VERSION,
         "experiment": "fleet",

@@ -12,10 +12,12 @@ runs at the same seeds.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs import stream as obs_stream
 from repro.bench.stacks import FIG4_SETTINGS, Stack, build_fig4_stack
 from repro.crypto.rng import Rng
 from repro.errors import WorkloadError
@@ -113,6 +115,71 @@ def run_device(spec: DeviceSpec) -> Dict[str, object]:
         )
         report = _finish_report(spec, result, recorder, stack)
     return report
+
+
+def run_device_streamed(
+    spec: DeviceSpec,
+    stream_dir,
+    snapshot_interval_s: float = obs_stream.DEFAULT_SNAPSHOT_INTERVAL_S,
+) -> Dict[str, object]:
+    """Run one device while streaming ``telemetry.v1`` to its spool file.
+
+    The device's full report never crosses back to the caller: the
+    fixed-size recorder payload rides in the spool's ``device_finish``
+    event for :func:`repro.obs.stream.reduce_spools` to fold, and only a
+    small summary dict (spec, workload result, final gauges, spool path)
+    is returned. The streamer only *reads* recorder state, so the payload
+    written to the spool is byte-identical to what :func:`run_device`
+    would have returned for the same spec — the differential contract the
+    stream tests pin.
+
+    A worker crash emits a ``device_crash`` event before the exception
+    propagates, so the spool always records how the run ended.
+    """
+    spec.validate()
+    path = obs_stream.spool_path(stream_dir, spec.index)
+    wall_start = time.perf_counter()
+    with obs_stream.SpoolWriter(path, spec.index) as writer:
+        with obs.observe() as recorder:
+            streamer = obs_stream.DeviceTelemetryStreamer(
+                writer, recorder, interval_s=snapshot_interval_s
+            )
+            writer.emit("device_start", 0.0, spec=dataclasses.asdict(spec))
+            try:
+                stack = build_workload_stack(
+                    spec.setting,
+                    seed=spec.seed,
+                    userdata_blocks=spec.userdata_blocks,
+                )
+                # snapshots are stamped from the stack's sim clock; the
+                # recorder's clock stays untouched so span durations match
+                # an unstreamed run exactly
+                streamer.clock = stack.clock
+                result, _trace = run_personality(
+                    spec.personality,
+                    stack.fs,
+                    stack.clock,
+                    _workload_rng(spec),
+                    ops=spec.ops,
+                    content_seed=spec.seed,
+                    record=False,
+                    stats_device=stack.phone.userdata,
+                )
+                report = _finish_report(spec, result, recorder, stack)
+            except Exception as exc:
+                streamer.crash(exc)
+                raise
+        wall_s = time.perf_counter() - wall_start
+        streamer.finish(report["result"], report["obs"], wall_s)
+    return {
+        "device": spec.index,
+        "spec": report["spec"],
+        "result": report["result"],
+        "gauges": report["obs"]["metrics"]["gauges"],
+        "spool": str(path),
+        "wall_s": wall_s,
+        "crashed": False,
+    }
 
 
 def record_device(

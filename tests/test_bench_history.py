@@ -69,6 +69,41 @@ class TestHistory:
         # wall-clock keys must never appear
         assert not any("wall" in key for key in record)
 
+    def test_sha_falls_back_to_git_rev_parse(self, monkeypatch):
+        import subprocess
+
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        record = history_record(_payload())
+        expected = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True,
+        ).stdout.strip()
+        assert record["git_sha"] == expected
+        assert record["git_sha"] not in ("", None)
+
+    def test_sha_is_unknown_outside_a_repository(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr("subprocess.run", no_git)
+        assert history_record(_payload())["git_sha"] == "unknown"
+
+    def test_sha_is_unknown_when_rev_parse_fails(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+
+        class _Proc:
+            returncode = 128
+            stdout = ""
+
+        monkeypatch.setattr("subprocess.run", lambda *a, **k: _Proc())
+        assert history_record(_payload())["git_sha"] == "unknown"
+
+    def test_env_sha_still_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "from-ci")
+        assert history_record(_payload())["git_sha"] == "from-ci"
+
     def test_append_and_dedupe(self, tmp_path):
         assert append_history(tmp_path, _payload(), git_sha="s1") is True
         assert append_history(tmp_path, _payload(), git_sha="s1") is False

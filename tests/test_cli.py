@@ -19,6 +19,9 @@ class TestParser:
                         "trace", "metrics", "profile", "flame", "all"):
             args = parser.parse_args([command])
             assert args.command == command
+        args = parser.parse_args(["top", "/tmp/spools"])
+        assert args.command == "top"
+        assert args.stream_dir == "/tmp/spools"
         args = parser.parse_args(["replay", "some.trace"])
         assert args.command == "replay"
         for bench_command in (["bench", "history"],
@@ -215,3 +218,60 @@ class TestExecution:
         payload = json.loads((tmp_path / "BENCH_fleet.json").read_text())
         assert len(payload["devices"]) == 2
         assert payload["obs_merged"]["merged_from"] == 2
+
+    def test_fleet_streams_and_scores_health(self, capsys, tmp_path):
+        spools = tmp_path / "spools"
+        assert main(["fleet", "--devices", "2", "--ops", "15",
+                     "--userdata-mib", "4", "--processes", "1",
+                     "--stream-dir", str(spools),
+                     "--json-dir", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry stream:" in out
+        assert "Fleet health: " in out
+        assert len(list(spools.glob("spool-*.jsonl"))) == 2
+        assert (spools / "health.jsonl").exists()
+        health = json.loads(
+            (tmp_path / "out" / "BENCH_fleet_health.json").read_text()
+        )
+        assert health["experiment"] == "fleet_health"
+        assert health["results"]["devices"] == 2
+        payload = json.loads(
+            (tmp_path / "out" / "BENCH_fleet.json").read_text()
+        )
+        assert payload["stream"]["finished"] == 2
+        assert payload["obs_merged"]["merged_from"] == 2
+
+    def test_fleet_max_inflight_warns(self, tmp_path):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main(["fleet", "--devices", "2", "--ops", "10",
+                         "--userdata-mib", "4", "--processes", "1",
+                         "--max-inflight-reports", "1",
+                         "--json-dir", str(tmp_path)]) == 0
+        assert any("max_inflight_reports=1" in str(w.message)
+                   for w in caught)
+
+    def test_top_renders_a_streamed_fleet(self, capsys, tmp_path):
+        spools = tmp_path / "spools"
+        assert main(["fleet", "--devices", "2", "--ops", "15",
+                     "--userdata-mib", "4", "--processes", "1",
+                     "--stream-dir", str(spools),
+                     "--json-dir", str(tmp_path / "out")]) == 0
+        capsys.readouterr()
+        assert main(["top", str(spools)]) == 0
+        out = capsys.readouterr().out
+        assert "device" in out and "state" in out
+        assert "2 done" in out
+        assert "throughput MB/s" in out
+
+    def test_top_missing_directory(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "nope")]) == 0
+        assert "no spool directory" in capsys.readouterr().out
+
+    def test_top_follow_iterations(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "nope"), "--follow",
+                     "--interval", "0.01", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("no spool directory") == 2

@@ -1,12 +1,15 @@
 """Tests for the fleet runner and recorder-payload merging."""
 
 import dataclasses
+import gc
 import json
+import tracemalloc
 
 import pytest
 
 from repro.errors import WorkloadError
 from repro.obs import merge_recorder_payloads
+from repro.obs.export import SCHEMA_VERSION, dump_json
 from repro.workload import (
     DeviceSpec,
     FleetSpec,
@@ -84,6 +87,164 @@ class TestRunFleet:
         assert json.dumps(payload["devices"][0], sort_keys=True) == (
             json.dumps(solo, sort_keys=True)
         )
+
+
+class TestStreamedFleet:
+    @pytest.fixture(scope="class")
+    def streamed(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("fleet-spools")
+        small = dataclasses.replace(FLEET, ops=15, userdata_blocks=1024)
+        return small, directory, run_fleet(small, stream_dir=directory)
+
+    def test_streamed_merge_matches_in_ram_merge(self, streamed):
+        """Acceptance: the spool-reduced observability section is
+        byte-identical to the legacy hold-everything merge."""
+        small, _directory, payload = streamed
+        legacy = run_fleet(small)
+        assert dump_json(payload["obs_merged"]) == (
+            dump_json(legacy["obs_merged"])
+        )
+        assert dump_json(payload["totals"]) == dump_json(legacy["totals"])
+
+    def test_stream_section(self, streamed):
+        small, directory, payload = streamed
+        section = payload["stream"]
+        assert section["dir"] == str(directory)
+        assert section["finished"] == small.devices
+        assert section["crashed"] == 0
+        assert section["by_event"]["device_finish"] == small.devices
+        assert len(list(directory.glob("spool-*.jsonl"))) == small.devices
+
+    def test_summaries_not_full_reports(self, streamed):
+        # the streamed payload carries light summaries; the full recorder
+        # payloads live only in the spools
+        _small, _directory, payload = streamed
+        for summary in payload["devices"]:
+            assert "obs" not in summary
+            assert summary["crashed"] is False
+            assert summary["gauges"]
+        assert "Fleet:" in render_fleet_report(payload)
+
+    def test_max_inflight_guard_warns_on_legacy_path(self):
+        small = FleetSpec(devices=2, ops=10, userdata_blocks=1024)
+        with pytest.warns(RuntimeWarning, match="max_inflight_reports=1"):
+            run_fleet(small, max_inflight_reports=1)
+
+    def test_max_inflight_guard_silent_when_under(self, recwarn):
+        small = FleetSpec(devices=2, ops=10, userdata_blocks=1024)
+        run_fleet(small, max_inflight_reports=2)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+
+def _synthetic_payload(i):
+    """A hand-built recorder payload shaped like real device telemetry.
+
+    Gauges are deliberately absent: they are the one metric family whose
+    merged output keeps per-device values, so omitting them makes the
+    merge's working set provably independent of the payload count.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spans": {
+            "stack.write": {
+                "count": 2 + i % 3,
+                "total_s": 0.25 + (i % 7) * 0.01,
+                "max_s": 0.2,
+                "mean_s": 0.125,
+            }
+        },
+        "marks": {"gc.pass": 1 + i % 2},
+        "metrics": {
+            "counters": {"workload.bytes_written": 4096.0 * (1 + i % 5)},
+            "gauges": {},
+            "histograms": {
+                "io.write_s": {
+                    "count": 4,
+                    "mean_s": 0.002,
+                    "min_s": 0.0005,
+                    "max_s": 0.005,
+                    "p50_s": 0.001,
+                    "p95_s": 0.0046,
+                    "p99_s": 0.00492,
+                    "buckets": {"0.001": 2, "0.01": 2},
+                }
+            },
+        },
+        "io": {"events": 10, "by_op": {"write": 8, "flush": 2}},
+    }
+
+
+class TestMergeScale:
+    """merge_recorder_payloads at 1k payloads: associativity, bounded
+    memory, pinned percentile output."""
+
+    N = 1000
+
+    @pytest.fixture(scope="class")
+    def payloads(self):
+        return [_synthetic_payload(i) for i in range(self.N)]
+
+    def test_associative_regrouping(self, payloads):
+        from repro.bench.history import flatten_numeric
+
+        whole = merge_recorder_payloads(payloads)
+        halves = merge_recorder_payloads(
+            [
+                merge_recorder_payloads(payloads[: self.N // 2]),
+                merge_recorder_payloads(payloads[self.N // 2:]),
+            ]
+        )
+        a = flatten_numeric({k: v for k, v in whole.items()
+                             if k != "merged_from"})
+        b = flatten_numeric({k: v for k, v in halves.items()
+                             if k != "merged_from"})
+        assert set(a) == set(b)
+        for name, value in a.items():
+            assert b[name] == pytest.approx(value, rel=1e-12), name
+
+    def test_reversal_invariance(self, payloads):
+        from repro.bench.history import flatten_numeric
+
+        forward = flatten_numeric(merge_recorder_payloads(payloads))
+        backward = flatten_numeric(
+            merge_recorder_payloads(list(reversed(payloads)))
+        )
+        assert set(forward) == set(backward)
+        for name, value in forward.items():
+            assert backward[name] == pytest.approx(value, rel=1e-12), name
+
+    def test_pinned_merged_percentiles(self, payloads):
+        merged = merge_recorder_payloads(payloads)
+        hist = merged["metrics"]["histograms"]["io.write_s"]
+        assert hist["count"] == 4 * self.N
+        assert hist["buckets"] == {"0.001": 2 * self.N, "0.01": 2 * self.N}
+        # interpolated inside the merged buckets, clamped to min/max:
+        # p50 sits at the top of the first bucket, p95/p99 interpolate
+        # between it and the observed max
+        assert hist["p50_s"] == pytest.approx(0.001)
+        assert hist["p95_s"] == pytest.approx(0.0046)
+        assert hist["p99_s"] == pytest.approx(0.00492)
+        assert hist["min_s"] == 0.0005
+        assert hist["max_s"] == 0.005
+
+    def test_peak_memory_independent_of_payload_count(self, payloads):
+        """100x more payloads must not cost meaningfully more peak memory:
+        the accumulator's working set is the metric-name universe."""
+
+        def peak(batch):
+            gc.collect()
+            tracemalloc.start()
+            merge_recorder_payloads(batch)
+            _current, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak_bytes
+
+        peak(payloads[:10])  # warm caches so both measurements are steady
+        small = peak(payloads[:10])
+        large = peak(payloads)
+        assert large <= max(small, 64 * 1024) * 3, (small, large)
 
 
 class TestMergeRecorderPayloads:
