@@ -28,6 +28,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.errors import BenchError
 from repro.obs import SCHEMA_VERSION
 
 #: One JSON record per line; lives next to the BENCH files it summarizes.
@@ -336,15 +337,37 @@ def _experiment_of(path: pathlib.Path) -> str:
     return path.stem[len("BENCH_"):]
 
 
+def _require_bench_dir(directory: pathlib.Path, role: str) -> None:
+    """Raise :class:`BenchError` for a dir that cannot anchor a compare."""
+    if not directory.is_dir():
+        raise BenchError(
+            f"{role} results directory {directory} does not exist — "
+            f"expected a directory holding BENCH_*.json files (e.g. "
+            f"{directory / 'BENCH_fig4.json'}); run the bench commands "
+            "first, or point the flag at the right directory"
+        )
+    if not any(directory.glob("BENCH_*.json")):
+        raise BenchError(
+            f"{role} results directory {directory} holds no BENCH_*.json "
+            f"files — a comparison against nothing would pass vacuously; "
+            "run the bench commands first, or point the flag at the "
+            "right directory"
+        )
+
+
 def compare_dirs(baseline_dir, current_dir) -> CompareReport:
     """Compare every ``BENCH_*.json`` of *baseline_dir* against *current_dir*.
 
     Files that exist only in the current directory are new benchmarks, not
     regressions, and are ignored; files that exist only in the baseline
-    are reported as missing.
+    are reported as missing. A baseline or candidate directory that is
+    missing or holds no BENCH files at all raises :class:`BenchError`
+    (a gate that silently compares nothing would always pass).
     """
     baseline_dir = pathlib.Path(baseline_dir)
     current_dir = pathlib.Path(current_dir)
+    _require_bench_dir(baseline_dir, "baseline")
+    _require_bench_dir(current_dir, "candidate")
     deltas: List[MetricDelta] = []
     missing: List[str] = []
     mismatches: List[str] = []

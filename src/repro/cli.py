@@ -11,7 +11,8 @@ Usage::
     python -m repro workload [--personality NAME] [--trace-out FILE]
     python -m repro replay FILE [--setting NAME]
     python -m repro fleet [--devices N] [--processes N] [--stream-dir DIR]
-    python -m repro top DIR [--follow]
+    python -m repro top DIR [--follow] [--interval S] [--once]
+    python -m repro serve [--host H] [--port P] [--db FILE] [--stream-dir DIR]
     python -m repro trace [--format chrome] [--out FILE]
     python -m repro metrics
     python -m repro profile [--workload NAME] [--wall] [--out DIR]
@@ -509,8 +510,12 @@ def _cmd_bench_history(args: argparse.Namespace) -> None:
 
 def _cmd_bench_compare(args: argparse.Namespace) -> None:
     from repro.bench import compare_dirs, render_compare
+    from repro.errors import BenchError
 
-    report = compare_dirs(args.baseline, args.current)
+    try:
+        report = compare_dirs(args.baseline, args.current)
+    except BenchError as exc:
+        raise SystemExit(f"repro bench compare: error: {exc}") from None
     print(render_compare(report))
     if not report.ok:
         raise SystemExit(1)
@@ -613,8 +618,14 @@ def _cmd_workloads_bench(args: argparse.Namespace) -> None:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> None:
+    from repro.errors import ObsError
     from repro.workload import FleetSpec, render_fleet_report, run_fleet
 
+    if args.stream_dir:
+        try:
+            obs.ensure_fresh_stream_dir(args.stream_dir, force=args.force)
+        except ObsError as exc:
+            raise SystemExit(f"repro fleet: error: {exc}") from None
     fleet = FleetSpec(
         devices=args.devices,
         setting=args.setting,
@@ -657,7 +668,18 @@ def _cmd_top(args: argparse.Namespace) -> None:
     import time
 
     directory = pathlib.Path(args.stream_dir)
-    if args.follow:
+    follow = args.follow and not args.once
+    if follow and args.iterations <= 0 and not sys.stdout.isatty():
+        # an unbounded follow into a pipe (CI log, `| head`, cron mail)
+        # never terminates and interleaves refreshes mid-consumer;
+        # degrade to one clean single-pass snapshot
+        print(
+            "repro top: stdout is not a TTY; printing one snapshot "
+            "(use --iterations N for a bounded follow)",
+            file=sys.stderr,
+        )
+        follow = False
+    if follow:
         ticks = (
             itertools.count()
             if args.iterations <= 0
@@ -680,6 +702,40 @@ def _cmd_top(args: argparse.Namespace) -> None:
                 print(f"(no spool directory at {directory} yet)")
     except KeyboardInterrupt:
         pass
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+    import signal
+
+    from repro.server import PDEServer
+
+    server = PDEServer(
+        host=args.host,
+        port=args.port,
+        db=args.db,
+        stream_dir=args.stream_dir,
+        max_workers=args.workers,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"(db {args.db}, stream dir {args.stream_dir}, "
+            f"{server.resumed_devices} device(s) resumed)",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        await server.run()
+
+    asyncio.run(_serve())
+    print("repro serve: shut down cleanly", flush=True)
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -846,6 +902,11 @@ def build_parser() -> argparse.ArgumentParser:
         "run tailable with `repro top DIR`",
     )
     p.add_argument(
+        "--force", action="store_true",
+        help="with --stream-dir: delete stale spool files from a previous "
+        "run instead of refusing the non-empty directory",
+    )
+    p.add_argument(
         "--max-inflight-reports", type=int, default=None, metavar="N",
         help="on the legacy in-RAM path, warn loudly when the fleet "
         "holds more than N device reports at once (the streaming path "
@@ -879,7 +940,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows", type=int, default=40,
         help="device rows shown before folding (default 40)",
     )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one clean snapshot and exit, even with --follow "
+        "(what CI steps and pipes want)",
+    )
     p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the PDE-as-a-service daemon hosting a persistent "
+        "device fleet over HTTP",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    p.add_argument(
+        "--port", type=int, default=7734,
+        help="listen port (default 7734; 0 = ephemeral)",
+    )
+    p.add_argument(
+        "--db", default="fleet.db", metavar="FILE",
+        help="SQLite session database; a restarted daemon resumes its "
+        "fleet from here (default fleet.db, ':memory:' = ephemeral)",
+    )
+    p.add_argument(
+        "--stream-dir", default="stream", metavar="DIR",
+        help="directory for per-device telemetry.v1 spools; point "
+        "`repro top DIR` here (default ./stream)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=8,
+        help="worker threads executing device ops (default 8)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "trace", help="span tree of an observed end-to-end PDE session"

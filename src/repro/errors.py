@@ -241,6 +241,41 @@ class ObsError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Benchmark harness
+# ---------------------------------------------------------------------------
+
+
+class BenchError(ReproError):
+    """A benchmark harness invocation was unusable (e.g. a results
+    directory that is missing or holds no ``BENCH_*.json`` files)."""
+
+
+# ---------------------------------------------------------------------------
+# PDE-as-a-service daemon
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for ``repro.server`` failures."""
+
+
+class NoSuchDeviceError(ServerError):
+    """A device id did not resolve to a hosted fleet device."""
+
+    def __init__(self, device_id: object) -> None:
+        super().__init__(f"no device {device_id!r} in the fleet")
+        self.device_id = device_id
+
+
+class DeviceExistsError(ServerError):
+    """A device name is already taken in the hosted fleet."""
+
+
+class BadRequestError(ServerError):
+    """A request payload was malformed or failed validation."""
+
+
+# ---------------------------------------------------------------------------
 # Optional acceleration
 # ---------------------------------------------------------------------------
 

@@ -86,6 +86,7 @@ from repro.obs.stream import (
     DeviceTelemetryStreamer,
     ReducedStream,
     SpoolWriter,
+    ensure_fresh_stream_dir,
     reduce_spools,
     render_top,
     scan_spools,
@@ -155,6 +156,7 @@ __all__ = [
     "DeviceTelemetryStreamer",
     "ReducedStream",
     "SpoolWriter",
+    "ensure_fresh_stream_dir",
     "reduce_spools",
     "render_top",
     "scan_spools",

@@ -98,6 +98,38 @@ def spool_path(directory, device: int) -> pathlib.Path:
     return pathlib.Path(directory) / f"{_SPOOL_PREFIX}{device:08d}.jsonl"
 
 
+def ensure_fresh_stream_dir(directory, force: bool = False) -> pathlib.Path:
+    """Refuse a stream directory that already holds spool files.
+
+    A fleet run writes one spool per device and the reducer folds *every*
+    ``*.jsonl`` in the directory — so spools left over from a previous run
+    (e.g. a larger fleet whose high-numbered devices this run would not
+    overwrite) would silently merge stale telemetry into fresh fleet
+    stats. With ``force=True`` the stale spools are deleted instead.
+    Returns the directory path; raises :class:`ObsError` naming the
+    offending files otherwise.
+    """
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        return root
+    stale = sorted(root.glob("*.jsonl"))
+    if not stale:
+        return root
+    if force:
+        for path in stale:
+            path.unlink()
+        return root
+    shown = ", ".join(p.name for p in stale[:5])
+    if len(stale) > 5:
+        shown += f", ... ({len(stale) - 5} more)"
+    raise ObsError(
+        f"stream dir {root} already holds {len(stale)} spool file(s) "
+        f"({shown}); a previous run's telemetry would merge into this "
+        "fleet's stats — use --force to delete them, or pick a fresh "
+        "directory"
+    )
+
+
 def validate_event(event: object) -> List[str]:
     """Schema-check one parsed telemetry/health event line.
 

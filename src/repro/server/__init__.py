@@ -1,0 +1,44 @@
+"""PDE-as-a-service: a long-lived daemon hosting a persistent device fleet.
+
+``repro.server`` turns the batch-only simulator into a resident service:
+an asyncio HTTP/1.1 JSON API (stdlib only — no new runtime dependencies)
+whose resources are live MobiCeal devices. Each device is a full simulated
+phone (own seed, sim clock, RNG streams, storage stack) created over REST,
+driven through its PDE lifecycle (boot / fast switch / write / crash /
+attach / snapshot), checkpointed into SQLite after every mutating
+operation, and streamed as ``telemetry.v1`` JSONL the existing fleet
+tooling (``repro top``, :func:`repro.obs.stream.reduce_spools`) consumes
+unchanged.
+
+Layering:
+
+* :mod:`repro.server.store`    — SQLite session persistence (device specs,
+  lifecycle state, block-interned images, snapshot manifests);
+* :mod:`repro.server.device`   — one hosted device: the simulated phone +
+  :class:`~repro.core.system.MobiCealSystem` plus its telemetry spool;
+* :mod:`repro.server.executor` — per-device single-writer serialization
+  over a bounded worker pool (concurrent requests to *different* devices
+  overlap; per-device op order — and hence every seeded clock/RNG draw —
+  is exactly the request order);
+* :mod:`repro.server.app`      — request router, handlers, lifecycle;
+* :mod:`repro.server.stream`   — chunked JSONL telemetry streaming;
+* :mod:`repro.server.client`   — the stdlib client tests/CI/examples use.
+
+See ``docs/server.md`` for the API reference and guarantees.
+"""
+
+from repro.server.app import PDEServer
+from repro.server.client import ServerAPIError, ServerClient
+from repro.server.device import DeviceConfig, ServerDevice
+from repro.server.executor import FleetExecutor
+from repro.server.store import FleetStore
+
+__all__ = [
+    "DeviceConfig",
+    "FleetExecutor",
+    "FleetStore",
+    "PDEServer",
+    "ServerAPIError",
+    "ServerClient",
+    "ServerDevice",
+]

@@ -1,0 +1,475 @@
+"""The PDE-as-a-service daemon: asyncio HTTP/1.1 JSON API over the fleet.
+
+A deliberately small, stdlib-only HTTP server — no framework, no new
+runtime dependencies — because the API surface is a dozen routes and the
+interesting machinery (per-device serialization, SQLite checkpointing,
+telemetry spools) lives in the sibling modules. Routes:
+
+====== =============================== =======================================
+method path                            action
+====== =============================== =======================================
+POST   ``/devices``                    create + initialize a device
+GET    ``/devices``                    fleet summary rows
+GET    ``/devices/{id}``               full device state
+DELETE ``/devices/{id}``               finish telemetry, drop from fleet + db
+POST   ``/devices/{id}/boot``          pre-boot auth + framework start
+POST   ``/devices/{id}/switch``        screen-lock entry / fast switch
+POST   ``/devices/{id}/write``         store a file in the current mode
+GET    ``/devices/{id}/file``          read a file back (``?path=/...``)
+POST   ``/devices/{id}/crash``         sudden power loss
+POST   ``/devices/{id}/attach``        forensic re-attach over the medium
+POST   ``/devices/{id}/snapshot``      adversary snapshot of the raw medium
+GET    ``/devices/{id}/telemetry``     chunked ``telemetry.v1`` JSONL
+GET    ``/healthz``                    liveness + store stats (wall clock ok)
+GET    ``/metrics``                    deterministic JSON metric export
+====== =============================== =======================================
+
+Error mapping is by exception family: malformed requests 400, unknown
+routes/devices 404, lifecycle conflicts (double boot, duplicate name,
+wrong mode) 409, rejected passwords 403, anything unexpected 500 — every
+error body is ``{"error": ..., "detail": ...}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import time
+import urllib.parse
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    BadPasswordError,
+    BadRequestError,
+    DeviceExistsError,
+    FrameworkStateError,
+    ModeError,
+    NoSuchDeviceError,
+    NotInitializedError,
+    ReproError,
+)
+from repro.obs.export import dump_json
+from repro.obs.metrics import MetricRegistry
+from repro.server.device import DeviceConfig, ServerDevice, decode_write_request
+from repro.server.executor import DEFAULT_WORKERS, FleetExecutor
+from repro.server.store import FleetStore
+from repro.server.stream import LAST_CHUNK, stream_spool
+
+#: Largest accepted request body (devices are small; 8 MiB is generous).
+MAX_BODY_BYTES = 8 << 20
+
+_SERVER_NAME = "repro-pde/1"
+
+
+class _HttpProblem(Exception):
+    """A protocol-level failure with a fixed status (pre-routing)."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+def _classify(exc: Exception) -> Tuple[int, str]:
+    """Map an exception to ``(status, error-family)``."""
+    if isinstance(exc, NoSuchDeviceError):
+        return 404, "not_found"
+    if isinstance(exc, BadPasswordError):
+        return 403, "forbidden"
+    if isinstance(
+        exc,
+        (DeviceExistsError, ModeError, NotInitializedError, FrameworkStateError),
+    ):
+        return 409, "conflict"
+    if isinstance(exc, BadRequestError):
+        return 400, "bad_request"
+    if isinstance(exc, ReproError):
+        return 400, "bad_request"
+    return 500, "internal"
+
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 500: "Internal Server Error",
+}
+
+
+class PDEServer:
+    """The daemon: a resident fleet behind an asyncio socket server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        db=":memory:",
+        stream_dir=".",
+        max_workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        self.host = host
+        self.port = port  # updated to the bound port by start()
+        self.stream_dir = stream_dir
+        self.store = FleetStore(db)
+        self.executor = FleetExecutor(max_workers)
+        self.devices: Dict[int, ServerDevice] = {}
+        self.metrics = MetricRegistry()
+        self.started_wall = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.resumed_devices = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and resume any fleet persisted in the db."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        for record in self.store.list_devices():
+            device = await self.executor.run_unlocked(
+                ServerDevice.resume, record, self.store, self.stream_dir
+            )
+            self.devices[device.id] = device
+            self.resumed_devices += 1
+        self.metrics.gauge("server.devices").set(len(self.devices))
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def run(self, on_ready=None) -> None:
+        """start() + serve until :meth:`request_stop`, then close()."""
+        if self._server is None:
+            await self.start()
+        if on_ready is not None:
+            on_ready()
+        assert self._stop is not None
+        await self._stop.wait()
+        await self.close()
+
+    def request_stop(self) -> None:
+        """Ask the daemon to shut down; safe to call from any thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def close(self) -> None:
+        """Stop accepting, close device spools, release the db and pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for device in self.devices.values():
+            # a daemon shutdown is not a device finish: leave spools
+            # resumable, just release the file handles
+            device.close()
+        self.executor.shutdown()
+        self.store.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpProblem as exc:
+                    await self._send_json(
+                        writer, exc.status,
+                        {"error": "bad_request", "detail": exc.detail},
+                        keep_alive=False,
+                    )
+                    return
+                if parsed is None:
+                    return  # clean EOF between requests
+                method, path, query, body, keep_alive = parsed
+                self.metrics.counter(f"server.requests.{method}").add(1)
+                if method == "GET" and self._telemetry_device(path) is not None:
+                    await self._stream_telemetry(writer, path, query)
+                    return  # streaming responses close the connection
+                status, payload = await self._dispatch(method, path, query, body)
+                self.metrics.counter(
+                    f"server.responses.{status // 100}xx"
+                ).add(1)
+                await self._send_json(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; None on clean EOF before a request line."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpProblem(400, f"malformed request line: {parts!r}")
+        method, target, version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpProblem(400, f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpProblem(400, "malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpProblem(413, f"body of {length} bytes refused")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = (
+            version == "HTTP/1.1"
+            and headers.get("connection", "").lower() != "close"
+        )
+        url = urllib.parse.urlsplit(target)
+        query = dict(urllib.parse.parse_qsl(url.query))
+        return method.upper(), url.path, query, body, keep_alive
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        keep_alive: bool,
+    ) -> None:
+        body = (
+            json.dumps(payload, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Server: {_SERVER_NAME}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    @staticmethod
+    def _telemetry_device(path: str) -> Optional[str]:
+        segments = [s for s in path.split("/") if s]
+        if len(segments) == 3 and segments[0] == "devices" \
+                and segments[2] == "telemetry":
+            return segments[1]
+        return None
+
+    def _resolve(self, raw_id: str) -> ServerDevice:
+        try:
+            device_id = int(raw_id)
+        except ValueError:
+            raise NoSuchDeviceError(raw_id) from None
+        device = self.devices.get(device_id)
+        if device is None:
+            raise NoSuchDeviceError(device_id)
+        return device
+
+    @staticmethod
+    def _parse_body(body: bytes) -> object:
+        if not body:
+            return {}
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}")
+
+    async def _dispatch(
+        self, method: str, path: str, query: Dict[str, str], body: bytes
+    ) -> Tuple[int, object]:
+        try:
+            return await self._route(method, path, query, body)
+        except Exception as exc:  # noqa: BLE001 - every error becomes JSON
+            status, family = _classify(exc)
+            if status == 500:
+                self.metrics.counter("server.errors.internal").add(1)
+            return status, {"error": family, "detail": str(exc)}
+
+    async def _route(
+        self, method: str, path: str, query: Dict[str, str], body: bytes
+    ) -> Tuple[int, object]:
+        segments = [s for s in path.split("/") if s]
+        if segments == ["healthz"] and method == "GET":
+            return 200, self._healthz()
+        if segments == ["metrics"] and method == "GET":
+            return 200, self._metrics_payload()
+        if segments == ["devices"]:
+            if method == "GET":
+                return 200, {
+                    "devices": [
+                        self.devices[i].summary()
+                        for i in sorted(self.devices)
+                    ]
+                }
+            if method == "POST":
+                return await self._create_device(body)
+            raise BadRequestError(f"{method} not supported on /devices")
+        if len(segments) >= 2 and segments[0] == "devices":
+            device = self._resolve(segments[1])
+            action = segments[2] if len(segments) == 3 else None
+            if len(segments) > 3:
+                raise NoSuchDeviceError("/".join(segments))
+            return await self._device_route(method, device, action, query, body)
+        raise NoSuchDeviceError(path)
+
+    async def _device_route(
+        self,
+        method: str,
+        device: ServerDevice,
+        action: Optional[str],
+        query: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, object]:
+        run = self.executor.run
+        if action is None:
+            if method == "GET":
+                return 200, await run(device.id, device.describe)
+            if method == "DELETE":
+                await run(device.id, device.finish)
+                self.devices.pop(device.id, None)
+                self.executor.forget(device.id)
+                self.store.delete_device(device.id)
+                self.metrics.gauge("server.devices").set(len(self.devices))
+                return 200, {"deleted": device.id}
+            raise BadRequestError(f"{method} not supported on a device")
+        if method == "GET" and action == "file":
+            req_path = query.get("path")
+            if not req_path:
+                raise BadRequestError("'path' query parameter is required")
+            data = await run(device.id, device.read, req_path)
+            return 200, {
+                "path": req_path,
+                "data_b64": base64.b64encode(data).decode("ascii"),
+                "bytes": len(data),
+            }
+        if method != "POST":
+            raise BadRequestError(
+                f"{method} not supported on a device action"
+            )
+        payload = self._parse_body(body)
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        if action == "boot":
+            password = payload.get("password")
+            if not isinstance(password, str):
+                raise BadRequestError("'password' must be a string")
+            after_crash = payload.get("after_crash")
+            if after_crash is not None and not isinstance(after_crash, bool):
+                raise BadRequestError("'after_crash' must be a boolean")
+            return 200, await run(device.id, device.boot, password, after_crash)
+        if action == "switch":
+            password = payload.get("password")
+            if not isinstance(password, str):
+                raise BadRequestError("'password' must be a string")
+            return 200, await run(device.id, device.switch, password)
+        if action == "write":
+            file_path, data = decode_write_request(payload)
+            return 200, await run(device.id, device.write, file_path, data)
+        if action == "crash":
+            return 200, await run(device.id, device.crash)
+        if action == "attach":
+            return 200, await run(device.id, device.attach)
+        if action == "snapshot":
+            label = payload.get("label", "")
+            if not isinstance(label, str):
+                raise BadRequestError("'label' must be a string")
+            return 200, await run(device.id, device.snapshot, label)
+        raise NoSuchDeviceError(f"device action {action!r}")
+
+    async def _create_device(self, body: bytes) -> Tuple[int, object]:
+        config = DeviceConfig.from_request(self._parse_body(body))
+        device_id = self.store.create_device(config.name, config.to_spec())
+        try:
+            device = await self.executor.run_unlocked(
+                ServerDevice.create,
+                device_id, config, self.store, self.stream_dir,
+            )
+        except Exception:
+            self.store.delete_device(device_id)
+            raise
+        self.devices[device_id] = device
+        self.metrics.gauge("server.devices").set(len(self.devices))
+        return 201, await self.executor.run(device_id, device.describe)
+
+    # -- leaf endpoints --------------------------------------------------------
+
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "devices": len(self.devices),
+            "resumed_devices": self.resumed_devices,
+            "uptime_s": time.monotonic() - self.started_wall,
+            "ops_executed": self.executor.ops_executed,
+            "ops_inflight": self.executor.ops_inflight,
+            "store": self.store.stats(),
+        }
+
+    def _metrics_payload(self) -> Dict[str, object]:
+        # deterministic by construction: counters and gauges only, no
+        # wall clock (that lives in /healthz), canonical key order comes
+        # from the JSON serializer
+        return {"schema_version": 1, "server": self.metrics.as_dict()}
+
+    def metrics_json(self) -> str:
+        """The /metrics body via the canonical obs serializer."""
+        return dump_json(self._metrics_payload())
+
+    # -- telemetry streaming ---------------------------------------------------
+
+    async def _stream_telemetry(
+        self, writer: asyncio.StreamWriter, path: str, query: Dict[str, str]
+    ) -> None:
+        raw_id = self._telemetry_device(path)
+        assert raw_id is not None
+        try:
+            device = self._resolve(raw_id)
+        except NoSuchDeviceError as exc:
+            await self._send_json(
+                writer, 404, {"error": "not_found", "detail": str(exc)},
+                keep_alive=False,
+            )
+            return
+        follow = query.get("follow", "0") not in ("0", "", "false")
+        try:
+            max_s = float(query.get("max_s", "30"))
+        except ValueError:
+            await self._send_json(
+                writer, 400,
+                {"error": "bad_request", "detail": "'max_s' must be a number"},
+                keep_alive=False,
+            )
+            return
+        self.metrics.counter("server.telemetry.streams").add(1)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Server: {_SERVER_NAME}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        await stream_spool(
+            writer,
+            device.writer.path,
+            follow=follow,
+            max_s=max_s,
+            finished=lambda: device.finished,
+        )
+        writer.write(LAST_CHUNK)
+        await writer.drain()

@@ -1,0 +1,216 @@
+"""A small stdlib client for the PDE daemon, used by tests, CI and docs.
+
+One method per route, JSON in / JSON out, with ``http.client`` underneath
+(which de-chunks the telemetry stream transparently, so
+:meth:`ServerClient.telemetry` can just ``readline()`` events). Error
+responses become :class:`ServerAPIError` carrying the status code and the
+decoded ``{"error", "detail"}`` body.
+
+Thread-safe by construction: every call opens its own connection — the
+concurrency tests drive eight clients from eight threads against eight
+devices without sharing a socket.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class ServerAPIError(Exception):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        detail = payload.get("detail", "") if isinstance(payload, dict) else ""
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerClient:
+    """Talks to one daemon at ``host:port``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """One JSON round-trip; raises :class:`ServerAPIError` on >= 400."""
+        body = None
+        headers = {"Connection": "close"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connect()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"detail": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServerAPIError(response.status, decoded)
+            return decoded
+        finally:
+            conn.close()
+
+    # -- fleet -----------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self.request("GET", "/metrics")
+
+    def devices(self) -> List[Dict[str, object]]:
+        return self.request("GET", "/devices")["devices"]
+
+    def create_device(self, name: str, **spec) -> Dict[str, object]:
+        """``POST /devices`` — *spec* holds seed, userdata_blocks, etc."""
+        return self.request("POST", "/devices", {"name": name, **spec})
+
+    def device(self, device_id: int) -> Dict[str, object]:
+        return self.request("GET", f"/devices/{device_id}")
+
+    def delete_device(self, device_id: int) -> Dict[str, object]:
+        return self.request("DELETE", f"/devices/{device_id}")
+
+    # -- device lifecycle ------------------------------------------------------
+
+    def boot(
+        self,
+        device_id: int,
+        password: str,
+        after_crash: Optional[bool] = None,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"password": password}
+        if after_crash is not None:
+            payload["after_crash"] = after_crash
+        return self.request("POST", f"/devices/{device_id}/boot", payload)
+
+    def switch(self, device_id: int, password: str) -> Dict[str, object]:
+        return self.request(
+            "POST", f"/devices/{device_id}/switch", {"password": password}
+        )
+
+    def write(self, device_id: int, path: str, data: bytes) -> Dict[str, object]:
+        return self.request(
+            "POST",
+            f"/devices/{device_id}/write",
+            {
+                "path": path,
+                "data_b64": base64.b64encode(data).decode("ascii"),
+            },
+        )
+
+    def read_file(self, device_id: int, path: str) -> bytes:
+        out = self.request(
+            "GET",
+            f"/devices/{device_id}/file?path=" + path,
+        )
+        return base64.b64decode(out["data_b64"])
+
+    def crash(self, device_id: int) -> Dict[str, object]:
+        return self.request("POST", f"/devices/{device_id}/crash", {})
+
+    def attach(self, device_id: int) -> Dict[str, object]:
+        return self.request("POST", f"/devices/{device_id}/attach", {})
+
+    def snapshot(self, device_id: int, label: str = "") -> Dict[str, object]:
+        return self.request(
+            "POST", f"/devices/{device_id}/snapshot", {"label": label}
+        )
+
+    # -- telemetry -------------------------------------------------------------
+
+    def telemetry(
+        self,
+        device_id: int,
+        follow: bool = False,
+        max_s: float = 30.0,
+    ) -> Iterator[Dict[str, object]]:
+        """Yield parsed ``telemetry.v1`` events from the chunked stream."""
+        query = f"?follow={'1' if follow else '0'}&max_s={max_s}"
+        conn = self._connect()
+        try:
+            conn.request(
+                "GET",
+                f"/devices/{device_id}/telemetry{query}",
+                headers={"Connection": "close"},
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    decoded = {"detail": raw.decode("utf-8", "replace")}
+                raise ServerAPIError(response.status, decoded)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    # -- convenience -----------------------------------------------------------
+
+    def wait_healthy(self, timeout: float = 10.0, poll_s: float = 0.05) -> None:
+        """Block until ``/healthz`` answers (daemon finished starting)."""
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                self.healthz()
+                return
+            except (OSError, ServerAPIError) as exc:
+                last = exc
+                time.sleep(poll_s)
+        raise TimeoutError(
+            f"daemon at {self.host}:{self.port} not healthy "
+            f"after {timeout}s: {last}"
+        )
+
+
+def run_roundtrip(client: ServerClient) -> Tuple[int, List[Dict[str, object]]]:
+    """The canonical smoke round-trip, shared by CI and the docs example.
+
+    create → boot → write → snapshot → crash → attach → boot(after_crash)
+    → write → snapshot → telemetry. Returns ``(device_id, events)``; every
+    event has already been schema-validated by the caller's standards —
+    this helper only asserts the stream parses and the device answered.
+    """
+    created = client.create_device(
+        "smoke", seed=7, hidden_passwords=["hid-pw"]
+    )
+    device_id = int(created["id"])
+    client.boot(device_id, "decoy")
+    client.write(device_id, "/sdcard/a.txt", b"public data")
+    client.snapshot(device_id, label="checkpoint-1")
+    client.crash(device_id)
+    client.attach(device_id)
+    client.boot(device_id, "decoy")
+    client.write(device_id, "/sdcard/b.txt", b"more data")
+    client.snapshot(device_id, label="checkpoint-2")
+    events = list(client.telemetry(device_id))
+    return device_id, events

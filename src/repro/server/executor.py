@@ -1,0 +1,77 @@
+"""Per-device single-writer serialization over a bounded worker pool.
+
+Device ops are synchronous, CPU-bound simulation code (crypto, block I/O,
+filesystem walks) — they must not run on the event loop. The executor
+offloads each op to a :class:`~concurrent.futures.ThreadPoolExecutor`
+*through a per-device asyncio lock*, giving the two properties the API
+promises:
+
+* **per-device determinism** — at most one op runs per device, in the
+  order requests arrived on that device's lock, so the device's sim
+  clock/RNG trajectory is a pure function of its seed and op sequence
+  (requests to one device concurrent with each other serialize; the
+  result equals some serial order of those requests);
+* **cross-device concurrency** — ops on *different* devices overlap up to
+  the worker-pool width; a slow op on one device never blocks another.
+
+The locks live in the event-loop world (acquired with ``await``, cheap,
+fair-FIFO per asyncio semantics); only the op body crosses into a worker
+thread. Everything a worker touches — the device and its registry, spool
+and store handles — is either confined by the device lock or internally
+locked (the store).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict
+
+DEFAULT_WORKERS = 8
+
+
+class FleetExecutor:
+    """Run device ops: one at a time per device, many devices at once."""
+
+    def __init__(self, max_workers: int = DEFAULT_WORKERS) -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fleet-op"
+        )
+        self._locks: Dict[int, asyncio.Lock] = {}
+        self.max_workers = max_workers
+        self.ops_executed = 0
+        self.ops_inflight = 0
+
+    def lock_for(self, device_id: int) -> asyncio.Lock:
+        lock = self._locks.get(device_id)
+        if lock is None:
+            lock = self._locks[device_id] = asyncio.Lock()
+        return lock
+
+    async def run(self, device_id: int, fn, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` in a worker, serialized per device."""
+        loop = asyncio.get_running_loop()
+        async with self.lock_for(device_id):
+            self.ops_inflight += 1
+            try:
+                return await loop.run_in_executor(
+                    self._pool, functools.partial(fn, *args, **kwargs)
+                )
+            finally:
+                self.ops_inflight -= 1
+                self.ops_executed += 1
+
+    async def run_unlocked(self, fn, *args, **kwargs):
+        """Offload work not tied to any device (create, restart resume)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, functools.partial(fn, *args, **kwargs)
+        )
+
+    def forget(self, device_id: int) -> None:
+        """Drop a deleted device's lock."""
+        self._locks.pop(device_id, None)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)

@@ -19,6 +19,7 @@ from repro.bench.history import (
     tolerance_for,
 )
 from repro.cli import main
+from repro.errors import BenchError
 from repro.obs import SCHEMA_VERSION
 
 
@@ -167,10 +168,42 @@ class TestCompare:
 
     def test_compare_dirs_missing_file_fails(self, tmp_path):
         _write_bench(tmp_path / "a", "fig4", _payload())
-        (tmp_path / "b").mkdir()
+        # the candidate dir is non-empty (so it passes the sanity gate) but
+        # lacks the baseline's benchmark file
+        _write_bench(tmp_path / "b", "other", _payload(experiment="other"))
         report = compare_dirs(tmp_path / "a", tmp_path / "b")
         assert not report.ok
         assert report.missing_files == ["BENCH_fig4.json"]
+
+    def test_compare_dirs_nonexistent_candidate_raises(self, tmp_path):
+        _write_bench(tmp_path / "a", "fig4", _payload())
+        with pytest.raises(BenchError, match="does not exist"):
+            compare_dirs(tmp_path / "a", tmp_path / "missing")
+
+    def test_compare_dirs_empty_candidate_raises(self, tmp_path):
+        _write_bench(tmp_path / "a", "fig4", _payload())
+        (tmp_path / "b").mkdir()
+        (tmp_path / "b" / "notes.txt").write_text("not a bench file")
+        with pytest.raises(BenchError, match="no BENCH_"):
+            compare_dirs(tmp_path / "a", tmp_path / "b")
+
+    def test_compare_dirs_empty_baseline_raises(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        _write_bench(tmp_path / "b", "fig4", _payload())
+        with pytest.raises(BenchError, match="baseline"):
+            compare_dirs(tmp_path / "a", tmp_path / "b")
+
+    def test_cli_compare_reports_empty_dir_clearly(self, tmp_path, capsys):
+        _write_bench(tmp_path / "a", "fig4", _payload())
+        (tmp_path / "b").mkdir()
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["bench", "compare", "--baseline", str(tmp_path / "a"),
+                 "--current", str(tmp_path / "b")]
+            )
+        message = str(exc.value.code)
+        assert "repro bench compare: error:" in message
+        assert "no BENCH_" in message
 
     def test_compare_dirs_schema_mismatch_fails(self, tmp_path):
         _write_bench(tmp_path / "a", "fig4", _payload())

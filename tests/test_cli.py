@@ -275,3 +275,48 @@ class TestExecution:
                      "--interval", "0.01", "--iterations", "2"]) == 0
         out = capsys.readouterr().out
         assert out.count("no spool directory") == 2
+
+    def test_top_once_overrides_follow(self, capsys, tmp_path):
+        # --once wins over --follow: one clean snapshot, no degrade notice
+        assert main(["top", str(tmp_path / "nope"), "--follow",
+                     "--once"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("no spool directory") == 1
+        assert captured.err == ""
+
+    def test_top_unbounded_follow_degrades_off_a_tty(self, capsys, tmp_path):
+        # under pytest stdout is a pipe, exactly the CI/`| head` case an
+        # unbounded follow must not hang: one snapshot + a stderr notice
+        assert main(["top", str(tmp_path / "nope"), "--follow"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("no spool directory") == 1
+        assert "not a TTY" in captured.err
+
+    def test_fleet_refuses_stale_stream_dir(self, tmp_path):
+        spools = tmp_path / "spools"
+        spools.mkdir()
+        (spools / "spool-0007.jsonl").write_text("{}\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--devices", "1", "--ops", "5",
+                  "--userdata-mib", "4", "--processes", "1",
+                  "--stream-dir", str(spools),
+                  "--json-dir", str(tmp_path / "out")])
+        message = str(exc.value.code)
+        assert "repro fleet: error:" in message
+        assert "spool-0007.jsonl" in message
+        assert "--force" in message
+        # the stale spool was NOT deleted by the refusal
+        assert (spools / "spool-0007.jsonl").exists()
+
+    def test_fleet_force_clears_stale_stream_dir(self, capsys, tmp_path):
+        spools = tmp_path / "spools"
+        spools.mkdir()
+        (spools / "spool-0007.jsonl").write_text("{}\n")
+        assert main(["fleet", "--devices", "1", "--ops", "5",
+                     "--userdata-mib", "4", "--processes", "1",
+                     "--stream-dir", str(spools), "--force",
+                     "--json-dir", str(tmp_path / "out")]) == 0
+        assert "telemetry stream:" in capsys.readouterr().out
+        # the stale device-7 spool is gone; only this run's spool remains
+        names = sorted(p.name for p in spools.glob("spool-*.jsonl"))
+        assert names == ["spool-00000000.jsonl"]

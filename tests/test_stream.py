@@ -103,6 +103,35 @@ class TestSpoolWriter:
                    for l in lines)
 
 
+class TestEnsureFreshStreamDir:
+    def test_missing_or_empty_dir_is_fine(self, tmp_path):
+        assert stream.ensure_fresh_stream_dir(tmp_path / "new") == \
+            tmp_path / "new"
+        (tmp_path / "empty").mkdir()
+        (tmp_path / "empty" / "notes.txt").write_text("not a spool")
+        assert stream.ensure_fresh_stream_dir(tmp_path / "empty") == \
+            tmp_path / "empty"
+
+    def test_stale_spools_refused_naming_files(self, tmp_path):
+        for i in range(7):
+            stream.spool_path(tmp_path, i).write_text("{}\n")
+        with pytest.raises(ObsError) as exc:
+            stream.ensure_fresh_stream_dir(tmp_path)
+        message = str(exc.value)
+        assert "7 spool file(s)" in message
+        assert "spool-00000000.jsonl" in message
+        assert "(2 more)" in message  # capped listing
+        assert "--force" in message
+
+    def test_force_deletes_only_spools(self, tmp_path):
+        stream.spool_path(tmp_path, 0).write_text("{}\n")
+        (tmp_path / "health.jsonl").write_text("{}\n")
+        (tmp_path / "keep.txt").write_text("hands off")
+        stream.ensure_fresh_stream_dir(tmp_path, force=True)
+        survivors = sorted(p.name for p in tmp_path.iterdir())
+        assert survivors == ["keep.txt"]
+
+
 class TestStreamedRun:
     def test_event_mix(self, spool_dir):
         directory, _ = spool_dir
