@@ -1,0 +1,234 @@
+"""BlockStore backend costs — memory scaling and checkpoint wall-clock.
+
+Three scenarios back the backend acceptance criteria:
+
+* ``mmap_rss`` — a 4 GiB-addressable userdata device on :class:`MmapStore`
+  must cost the same Python heap as a 256 MiB one: the bytes live in an
+  unlinked sparse file behind an ``mmap``, so peak traced memory tracks
+  the *working set*, not the device size.
+* ``cow_checkpoint`` — checkpointing a 1 %-dirty device through
+  :class:`CowOverlayStore.freeze` must beat the full capture-and-re-hash
+  scan by >= 10x: the overlay hashes only dirty blocks and reuses every
+  clean block's bytes and cached hash.
+* ``hotpath_ram`` — the extent fast path's headline speedups, pinned on
+  an explicit :class:`RamStore`, so backend pluggability never erodes the
+  hotpath bars.
+
+Like ``BENCH_hotpath.json``, ``BENCH_store.json`` records wall-clock (and
+tracemalloc) measurements: machine-dependent, excluded from CI's
+byte-drift check, and gated instead by ``repro bench compare``'s
+one-sided loose bands plus the METRIC_FLOORS hard minimums.
+"""
+
+import time
+import tracemalloc
+
+from repro.blockdev import (
+    EMMCDevice,
+    LatencyModel,
+    MmapStore,
+    RAMBlockDevice,
+    SimClock,
+    capture,
+    per_block_baseline,
+)
+from repro.crypto.rng import Rng
+
+BS = 4096
+
+#: Device sizes for the mmap flatness sweep (blocks of 4 KiB).
+MMAP_SIZES = (("256MiB", 65536), ("1GiB", 262144), ("4GiB", 1048576))
+
+#: Blocks actually written/read per mmap leg — fixed, so any peak growth
+#: with device size would be substrate overhead, not workload.
+WORKING_SET_BLOCKS = 1024
+
+#: Acceptance: the 4 GiB device's Python-heap peak may exceed the 256 MiB
+#: device's by at most this factor (they should be near-identical).
+MMAP_FLATNESS_MAX_RATIO = 2.0
+
+#: The checkpoint scenario's device and dirty ratio (1 % of blocks).
+CHECKPOINT_BLOCKS = 65536
+DIRTY_FRACTION = 0.01
+CHECKPOINT_ROUNDS = 3
+
+#: Acceptance: CoW checkpoint vs full re-intern at 1 % dirty.
+COW_CHECKPOINT_MIN_SPEEDUP = 10.0
+
+#: Acceptance: extent-path speedup on RamStore (same bar as hotpath).
+SEQ_WRITE_MIN_SPEEDUP = 3.0
+
+
+# ---------------------------------------------------------------------------
+# (a) MmapStore: peak heap flat across device sizes
+# ---------------------------------------------------------------------------
+
+
+def _mmap_peak_bytes(num_blocks: int) -> int:
+    """Peak traced Python memory while driving a fixed working set."""
+    payload = b"\x7e" * BS
+    step = max(1, num_blocks // WORKING_SET_BLOCKS)
+    tracemalloc.start()
+    store = MmapStore(num_blocks, BS)
+    for i in range(WORKING_SET_BLOCKS):
+        store.write_extent(i * step, payload)
+    for i in range(0, WORKING_SET_BLOCKS, 8):
+        assert store.read_extent(i * step, 1) == payload
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    store.close()
+    return peak
+
+
+# ---------------------------------------------------------------------------
+# (b) CoW checkpoint vs full re-intern at 1 % dirty
+# ---------------------------------------------------------------------------
+
+
+def _measure_checkpoint():
+    """Best-of-N capture cost: frozen CoW vs full scan + hash manifest.
+
+    Both devices carry identical bytes at every step. The "full" leg does
+    what every checkpoint did before the CoW store existed: scan the
+    whole medium, intern, and hash each distinct block for the server's
+    content-addressed block table (``Snapshot.block_hashes``).
+    """
+    dirty = int(CHECKPOINT_BLOCKS * DIRTY_FRACTION)
+    cow = RAMBlockDevice(CHECKPOINT_BLOCKS, block_size=BS, store="cow")
+    full = RAMBlockDevice(CHECKPOINT_BLOCKS, block_size=BS, store="ram")
+    capture(cow)  # freeze the factory base; later captures are O(dirty)
+
+    rng = Rng(17)
+    cow_s = full_s = float("inf")
+    for _ in range(CHECKPOINT_ROUNDS):
+        indices = rng.sample(range(CHECKPOINT_BLOCKS), dirty)
+        blobs = [rng.random_bytes(BS) for _ in indices]
+        for device in (cow, full):
+            for index, blob in zip(indices, blobs):
+                device.poke_extent(index, blob)
+
+        t0 = time.perf_counter()
+        snap_cow = capture(cow)
+        cow_s = min(cow_s, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        snap_full = capture(full)
+        snap_full.block_hashes()
+        full_s = min(full_s, time.perf_counter() - t0)
+
+        # fidelity: the O(dirty) checkpoint is byte- and hash-identical
+        assert snap_cow.hashes is not None
+        assert snap_cow.blocks == snap_full.blocks
+        assert snap_cow.manifest_digest() == snap_full.manifest_digest()
+
+    return {
+        "device_blocks": CHECKPOINT_BLOCKS,
+        "dirty_blocks": dirty,
+        "cow_checkpoint_s": cow_s,
+        "full_reintern_s": full_s,
+        "speedup": full_s / cow_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# (c) hotpath bars pinned on an explicit RamStore
+# ---------------------------------------------------------------------------
+
+
+def _best_of(op, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        op()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _ram_scenario(blocks: int = 64):
+    clock = SimClock()
+    device = EMMCDevice(
+        2 * blocks, clock=clock, latency=LatencyModel(), store="ram"
+    )
+    payload = b"\x5a" * (BS * blocks)
+    return clock, lambda: device.write_blocks(0, payload)
+
+
+def _measure_ram_hotpath(blocks: int = 64, rounds: int = 40):
+    clock_fast, op_fast = _ram_scenario(blocks)
+    fast_s = _best_of(op_fast, rounds)
+    sim_fast = clock_fast.now
+
+    clock_slow, op_slow = _ram_scenario(blocks)
+    with per_block_baseline():
+        slow_s = _best_of(op_slow, rounds)
+        sim_slow = clock_slow.now
+
+    assert sim_fast == sim_slow, (sim_fast, sim_slow)
+    return {
+        "blocks_per_op": blocks,
+        "extent_wall_s": fast_s,
+        "per_block_wall_s": slow_s,
+        "extent_blocks_per_s": blocks / fast_s,
+        "per_block_blocks_per_s": blocks / slow_s,
+        "speedup": slow_s / fast_s,
+    }
+
+
+def test_store_backends(benchmark, save_result, save_json):
+    """MmapStore RSS flatness, CoW checkpoint speedup, RamStore hotpath."""
+    peaks = {label: _mmap_peak_bytes(blocks) for label, blocks in MMAP_SIZES}
+    peak_ratio = peaks["4GiB"] / peaks["256MiB"]
+
+    checkpoint = _measure_checkpoint()
+    hotpath = _measure_ram_hotpath()
+
+    clock, op = _ram_scenario()
+    benchmark.pedantic(op, rounds=10, iterations=1)
+
+    lines = [
+        "BlockStore backends: memory scaling and checkpoint cost",
+        "",
+        f"MmapStore peak Python heap, {WORKING_SET_BLOCKS}-block working set",
+        f"{'device size':<12} {'peak KiB':>10}",
+    ]
+    for label, _ in MMAP_SIZES:
+        lines.append(f"{label:<12} {peaks[label] / 1024:>10.0f}")
+    lines += [
+        f"4GiB/256MiB peak ratio: {peak_ratio:.2f} "
+        f"(bound {MMAP_FLATNESS_MAX_RATIO})",
+        "",
+        f"CoW checkpoint, {checkpoint['dirty_blocks']} dirty of "
+        f"{checkpoint['device_blocks']} blocks (1%)",
+        f"  frozen overlay: {checkpoint['cow_checkpoint_s'] * 1e3:8.2f} ms",
+        f"  full re-intern: {checkpoint['full_reintern_s'] * 1e3:8.2f} ms",
+        f"  speedup:        {checkpoint['speedup']:8.1f}x "
+        f"(bound {COW_CHECKPOINT_MIN_SPEEDUP:.0f}x)",
+        "",
+        "RamStore extent hotpath (64-block sequential eMMC write)",
+        f"  extent:    {hotpath['extent_blocks_per_s']:>12.0f} blocks/s",
+        f"  per-block: {hotpath['per_block_blocks_per_s']:>12.0f} blocks/s",
+        f"  speedup:   {hotpath['speedup']:>11.1f}x "
+        f"(bound {SEQ_WRITE_MIN_SPEEDUP:.0f}x)",
+    ]
+    save_result("store", "\n".join(lines))
+    save_json("store", {
+        "mmap_rss": {
+            "working_set_blocks": WORKING_SET_BLOCKS,
+            "peaks_kib": {
+                label: peaks[label] / 1024 for label, _ in MMAP_SIZES
+            },
+            "peak_ratio_4g_vs_256m": peak_ratio,
+        },
+        "cow_checkpoint": checkpoint,
+        "hotpath_ram": {"emmc_seq_write": hotpath},
+    })
+    benchmark.extra_info["cow_checkpoint_speedup"] = round(
+        checkpoint["speedup"], 1
+    )
+    benchmark.extra_info["mmap_peak_ratio"] = round(peak_ratio, 2)
+
+    # acceptance bars (also enforced as METRIC_FLOORS by bench compare)
+    assert peak_ratio <= MMAP_FLATNESS_MAX_RATIO, peaks
+    assert peaks["4GiB"] < 64 << 20, "mmap peak heap should be megabytes"
+    assert checkpoint["speedup"] >= COW_CHECKPOINT_MIN_SPEEDUP, checkpoint
+    assert hotpath["speedup"] >= SEQ_WRITE_MIN_SPEEDUP, hotpath

@@ -37,6 +37,7 @@ class Phone:
         seed: int = 0,
         sparse: Optional[bool] = None,
         userdata_device: Optional[BlockDevice] = None,
+        store: Optional[str] = None,
     ) -> None:
         self.profile = profile
         self.clock = SimClock()
@@ -59,14 +60,15 @@ class Phone:
                 sparse=sparse,
                 jitter=0.03,
                 jitter_rng=self.rng.fork("io-jitter"),
+                store=store,
             )
         self.cache_dev = EMMCDevice(
             512, block_size=profile.block_size, clock=self.clock,
-            latency=profile.emmc,
+            latency=profile.emmc, store=store,
         )
         self.devlog_dev = EMMCDevice(
             256, block_size=profile.block_size, clock=self.clock,
-            latency=profile.emmc,
+            latency=profile.emmc, store=store,
         )
         self.framework = AndroidFramework(self.clock, profile)
         self.jiffies = JiffiesSource(self.clock, self.rng.fork("jiffies"))

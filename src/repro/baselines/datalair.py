@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.baselines.hive import WriteOnlyORAMDevice
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice, SubDevice
+from repro.blockdev.device import BlockDevice, PerBlockDevice, SubDevice
 from repro.crypto.rng import Rng
 from repro.crypto.stream import Blake2Ctr
 from repro.errors import BlockDeviceError
@@ -88,7 +88,7 @@ class DataLairDevice:
         return self.public.decoy_accesses
 
 
-class _PublicView(BlockDevice):
+class _PublicView(PerBlockDevice):
     """Directly mapped encrypted public region with periodic decoy accesses."""
 
     def __init__(
@@ -116,7 +116,7 @@ class _PublicView(BlockDevice):
         if self._clock is not None and self._crypto_cost:
             self._clock.advance(nbytes * self._crypto_cost, "datalair-crypto")
 
-    def _write(self, block: int, data: bytes) -> None:
+    def _write_one(self, block: int, data: bytes) -> None:
         self._charge(len(data))
         self._region.write_block(block, self._cipher.encrypt_sector(block, data))
         self._writes_since_decoy += 1
@@ -129,7 +129,7 @@ class _PublicView(BlockDevice):
             current = self._oram.read_block(victim)
             self._oram.write_block(victim, current)
 
-    def _read(self, block: int) -> bytes:
+    def _read_one(self, block: int) -> bytes:
         raw = self._region.read_block(block)
         self._charge(len(raw))
         return self._cipher.decrypt_sector(block, raw)

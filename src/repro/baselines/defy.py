@@ -20,13 +20,13 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, PerBlockDevice
 from repro.crypto.rng import Rng
 from repro.crypto.stream import Blake2Ctr
 from repro.errors import BlockDeviceError, NoSpaceError
 
 
-class DefyDevice(BlockDevice):
+class DefyDevice(PerBlockDevice):
     """Log-structured deniable store over a flash-like backing device.
 
     *num_blocks* logical blocks are stored in a log of
@@ -123,7 +123,7 @@ class DefyDevice(BlockDevice):
             if self._free >= self._clean_target:
                 break
             logical = self._owner[page]
-            data = self._read(logical)
+            data = self._read_one(logical)
             del self._owner[page]
             del self._map[logical]
             self._free += 1
@@ -132,12 +132,12 @@ class DefyDevice(BlockDevice):
 
     # -- BlockDevice implementation ---------------------------------------------------
 
-    def _write(self, block: int, data: bytes) -> None:
+    def _write_one(self, block: int, data: bytes) -> None:
         if self._free <= self._clean_threshold:
             self._clean()
         self._append(block, data)
 
-    def _read(self, block: int) -> bytes:
+    def _read_one(self, block: int) -> bytes:
         page = self._map.get(block)
         if page is None:
             return b"\x00" * self.block_size

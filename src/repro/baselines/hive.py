@@ -20,7 +20,7 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice
+from repro.blockdev.device import BlockDevice, PerBlockDevice
 from repro.crypto.rng import Rng
 from repro.crypto.stream import xor_bytes
 from repro.errors import BlockDeviceError
@@ -28,7 +28,7 @@ from repro.errors import BlockDeviceError
 _IV_LEN = 16
 
 
-class WriteOnlyORAMDevice(BlockDevice):
+class WriteOnlyORAMDevice(PerBlockDevice):
     """A logical block device whose writes are oblivious.
 
     Physical layout: ``spare_factor * num_blocks`` slots on the backing
@@ -128,7 +128,7 @@ class WriteOnlyORAMDevice(BlockDevice):
 
     # -- BlockDevice implementation -----------------------------------------------------
 
-    def _write(self, block: int, data: bytes) -> None:
+    def _write_one(self, block: int, data: bytes) -> None:
         candidates = self._rng.sample(range(self._slots), self._k)
         plaintexts: Dict[int, bytes] = {}
         for slot in candidates:
@@ -174,7 +174,7 @@ class WriteOnlyORAMDevice(BlockDevice):
         # position-map persistence
         self._phys_write(self._meta_slot, self._rng.random_bytes(self.block_size))
 
-    def _read(self, block: int) -> bytes:
+    def _read_one(self, block: int) -> bytes:
         if block in self._stash:
             return self._stash[block]
         slot = self._position.get(block)

@@ -47,7 +47,7 @@ TIGHT_TOLERANCE = 1e-9
 LOOSE_TOLERANCE = 0.60
 
 #: Experiments whose BENCH metrics are wall-clock measurements.
-WALL_CLOCK_EXPERIMENTS = frozenset({"hotpath"})
+WALL_CLOCK_EXPERIMENTS = frozenset({"hotpath", "store"})
 
 #: Absolute slack under which a delta is never a regression (guards the
 #: ``baseline == 0`` relative-delta singularity for both bands).
@@ -63,6 +63,13 @@ METRIC_FLOORS: Mapping[str, Mapping[str, float]] = {
     "hotpath": {
         "scenarios.crypt_seq_write.speedup": 5.0,
         "scenarios.emmc_seq_write.speedup": 3.0,
+    },
+    # BlockStore acceptance bars: the CoW overlay checkpoint must stay an
+    # order of magnitude ahead of a full re-intern at 1% dirty, and backend
+    # pluggability must never erode the extent hotpath on the RAM store.
+    "store": {
+        "cow_checkpoint.speedup": 10.0,
+        "hotpath_ram.emmc_seq_write.speedup": 3.0,
     },
 }
 

@@ -24,12 +24,13 @@ from repro.blockdev.device import (
     plan_batched_replay,
 )
 from repro.blockdev.latency import FREE, LatencyModel
+from repro.blockdev.store import BlockStore
 from repro.crypto.rng import Rng
 from repro.util.npgate import np
 
 
 class EMMCDevice(RAMBlockDevice):
-    """RAM-backed block device with a latency model and a simulated clock."""
+    """Store-backed block device with a latency model and a simulated clock."""
 
     def __init__(
         self,
@@ -41,8 +42,11 @@ class EMMCDevice(RAMBlockDevice):
         sparse: bool = False,
         jitter: float = 0.0,
         jitter_rng: Optional[Rng] = None,
+        store: "BlockStore | str | None" = None,
     ) -> None:
-        super().__init__(num_blocks, block_size, fill=fill, sparse=sparse)
+        super().__init__(
+            num_blocks, block_size, fill=fill, sparse=sparse, store=store
+        )
         self.clock = clock if clock is not None else SimClock()
         self.latency = latency
         if not 0.0 <= jitter < 1.0:
@@ -76,28 +80,6 @@ class EMMCDevice(RAMBlockDevice):
         draws = np.array([random() for _ in range(count)], dtype=np.float64)
         return deltas * (1.0 + self._jitter * (2.0 * draws - 1.0))
 
-    def _read(self, block: int) -> bytes:
-        with obs.deep_span("emmc.read", clock=self.clock):
-            sequential = self._last_read_end == block
-            self._last_read_end = block + 1
-            cost = self._jittered(
-                self.latency.read_cost(self.block_size, sequential)
-            )
-            self.clock.advance(cost, "emmc-read")
-            obs.observe_latency("emmc.read", cost)
-            return super()._read(block)
-
-    def _write(self, block: int, data: bytes) -> None:
-        with obs.deep_span("emmc.write", clock=self.clock):
-            sequential = self._last_write_end == block
-            self._last_write_end = block + 1
-            cost = self._jittered(
-                self.latency.write_cost(self.block_size, sequential)
-            )
-            self.clock.advance(cost, "emmc-write")
-            obs.observe_latency("emmc.write", cost)
-            super()._write(block, data)
-
     def _read_extent(
         self, start: int, count: int, costs: Optional[ExtentCosts]
     ) -> bytes:
@@ -124,7 +106,7 @@ class EMMCDevice(RAMBlockDevice):
             deltas = self._batched_costs(first, rest, count)
             plan.run(count, deltas)
             obs.observe_latency_batch("emmc.read", deltas)
-            return self._copy_out(start, count)
+            return self._store.read_extent(start, count)
         advance = self.clock.advance
         observe = obs.observe_latency
         replay = costs is not None and not costs.empty
@@ -153,7 +135,7 @@ class EMMCDevice(RAMBlockDevice):
                 if replay:
                     costs.replay_post()
                 cost = rest
-        return self._copy_out(start, count)
+        return self._store.read_extent(start, count)
 
     def _write_extent(
         self, start: int, data: bytes, costs: Optional[ExtentCosts]
@@ -180,7 +162,7 @@ class EMMCDevice(RAMBlockDevice):
             deltas = self._batched_costs(first, rest, count)
             plan.run(count, deltas)
             obs.observe_latency_batch("emmc.write", deltas)
-            self._copy_in(start, data)
+            self._store.write_extent(start, data)
             return
         advance = self.clock.advance
         observe = obs.observe_latency
@@ -208,7 +190,7 @@ class EMMCDevice(RAMBlockDevice):
                 if replay:
                     costs.replay_post()
                 cost = rest
-        self._copy_in(start, data)
+        self._store.write_extent(start, data)
 
     def _flush(self) -> None:
         # Model a cache flush as one write-op worth of latency.

@@ -27,7 +27,8 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.blockdev.device import BlockDevice, ExtentCosts
+from repro.blockdev.device import BlockDevice, ExtentCosts, replay_per_block
+from repro.blockdev.store import FrozenImage
 from repro.crypto.rng import Rng
 from repro.errors import PowerCutError, TransientIOError
 
@@ -228,7 +229,8 @@ class FaultyBlockDevice(BlockDevice):
 
     # -- I/O hooks ---------------------------------------------------------
 
-    def _read(self, block: int) -> bytes:
+    def _read_one(self, block: int) -> bytes:
+        """One faulted read: the per-block unit an armed extent decomposes to."""
         self._check_alive()
         self._maybe_transient(
             self._plan.read_error_rate if self._plan else 0.0, "read", block
@@ -247,7 +249,8 @@ class FaultyBlockDevice(BlockDevice):
             self.bitrot_events += 1
         return data
 
-    def _write(self, block: int, data: bytes) -> None:
+    def _write_one(self, block: int, data: bytes) -> None:
+        """One faulted write: RNG draws and the write index advance here."""
         self._check_alive()
         plan = self._plan
         if plan is None:
@@ -285,9 +288,12 @@ class FaultyBlockDevice(BlockDevice):
     ) -> bytes:
         # An armed plan draws RNG and counts write indices per block, so
         # extents must decompose here to keep fault outcomes identical to
-        # the per-block path. Unarmed, the wrapper is fully transparent.
+        # block-at-a-time delivery. Unarmed, the wrapper is transparent.
         if self._plan is not None:
-            return super()._read_extent(start, count, costs)
+            return b"".join(
+                self._read_one(start + i)
+                for i in replay_per_block(costs, count)
+            )
         self._check_alive()
         return self._base.read_blocks(start, count, costs)
 
@@ -295,24 +301,24 @@ class FaultyBlockDevice(BlockDevice):
         self, start: int, data: bytes, costs: Optional[ExtentCosts]
     ) -> None:
         if self._plan is not None:
-            super()._write_extent(start, data, costs)
+            bs = self._block_size
+            for i in replay_per_block(costs, len(data) // bs):
+                self._write_one(start + i, data[i * bs : (i + 1) * bs])
             return
         self._check_alive()
         self._base.write_blocks(start, data, costs)
 
     # out-of-band access bypasses fault injection entirely: forensic
     # snapshot capture images the medium, dead or not.
-    def peek(self, block: int) -> bytes:
-        return self._base.peek(block)
-
-    def poke(self, block: int, data: bytes) -> None:
-        self._base.poke(block, data)
-
     def peek_extent(self, start: int, count: int) -> bytes:
         return self._base.peek_extent(start, count)
 
     def poke_extent(self, start: int, data: bytes) -> None:
         self._base.poke_extent(start, data)
+
+    def freeze_image(self) -> Optional[FrozenImage]:
+        # freeze images the medium itself, exactly like peek_extent does
+        return self._base.freeze_image()
 
 
 # ---------------------------------------------------------------------------

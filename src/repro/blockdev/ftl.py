@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import DEFAULT_BLOCK_SIZE, BlockDevice
+from repro.blockdev.device import DEFAULT_BLOCK_SIZE, PerBlockDevice
 from repro.errors import BlockDeviceError, NoSpaceError
 
 
@@ -123,8 +123,15 @@ class NandFlash:
         return self._cursor[block] >= self.geometry.pages_per_block
 
 
-class FTLDevice(BlockDevice):
-    """A page-mapping FTL exposing NAND as an ordinary block device."""
+class FTLDevice(PerBlockDevice):
+    """A page-mapping FTL exposing NAND as an ordinary block device.
+
+    Genuinely per-page: every program may trigger garbage collection and
+    every logical page has its own mapping, so extents decompose at this
+    leaf (see :class:`~repro.blockdev.device.PerBlockDevice`). Peeks and
+    pokes resolve mappings and charge NAND latency — there is no way to
+    image a raw FTL without reading the flash.
+    """
 
     def __init__(
         self,
@@ -232,12 +239,12 @@ class FTLDevice(BlockDevice):
 
     # -- BlockDevice implementation ------------------------------------------------
 
-    def _write(self, block: int, data: bytes) -> None:
+    def _write_one(self, block: int, data: bytes) -> None:
         self.ftl_stats.host_writes += 1
         self._garbage_collect()
         self._program(block, data)
 
-    def _read(self, block: int) -> bytes:
+    def _read_one(self, block: int) -> bytes:
         flash_page = self._l2p.get(block)
         if flash_page is None:
             return b"\x00" * self.block_size

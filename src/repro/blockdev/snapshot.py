@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.blockdev.device import BlockDevice
 
@@ -23,6 +23,11 @@ class Snapshot:
     taken_at: float
     block_size: int
     blocks: tuple  # tuple[bytes, ...]; frozen for hashability of the snapshot
+    #: Per-block SHA-256 hex digests, when the capture got them for free
+    #: (a frozen CoW image); ``None`` otherwise. Lazily filled by
+    #: :meth:`block_hashes` — consumers that intern by content (the server
+    #: store) use these to skip re-hashing unchanged blocks.
+    hashes: Optional[tuple] = None
 
     @property
     def num_blocks(self) -> int:
@@ -38,17 +43,62 @@ class Snapshot:
             h.update(b)
         return h.hexdigest()
 
+    def block_hashes(self) -> tuple:
+        """Per-block SHA-256 hex digests, computed once and cached.
+
+        Interned blocks (the common case: a device image is mostly one
+        fill pattern plus repeated payloads) hash once per distinct
+        object, so this is O(distinct blocks) work.
+        """
+        if self.hashes is None:
+            memo: Dict[int, str] = {}
+            hashes = []
+            for b in self.blocks:
+                key = id(b)
+                h = memo.get(key)
+                if h is None:
+                    h = hashlib.sha256(b).hexdigest()
+                    memo[key] = h
+                hashes.append(h)
+            object.__setattr__(self, "hashes", tuple(hashes))
+        return self.hashes
+
+    def manifest_digest(self) -> str:
+        """SHA-256 over the per-block hash manifest.
+
+        Content-equal images always agree (the manifest is a pure
+        function of the block contents), and a frozen CoW capture can
+        produce it in O(dirty blocks) — unlike :meth:`digest`, which must
+        stream every byte. The server uses this as its ``image_digest``.
+        """
+        h = hashlib.sha256()
+        for block_hash in self.block_hashes():
+            h.update(block_hash.encode("ascii"))
+        return h.hexdigest()
+
 
 def capture(device: BlockDevice, label: str = "", taken_at: float = 0.0) -> Snapshot:
     """Capture a snapshot of *device* without disturbing its I/O counters.
 
     The adversary images the raw medium (e.g. by desoldering or via a
-    forensic port), so the capture bypasses the stats/latency machinery by
-    reading through the out-of-band ``peek_extent`` hook, ~1 MiB at a
-    time. Identical blocks are interned so an image dominated by one fill
+    forensic port), so the capture bypasses the stats/latency machinery.
+    Devices on a copy-on-write store hand over a frozen image directly
+    (:meth:`~repro.blockdev.device.BlockDevice.freeze_image`, O(dirty
+    blocks) with per-block hashes attached); everything else is read
+    through the out-of-band ``peek_extent`` hook, ~1 MiB at a time.
+    Identical blocks are interned so an image dominated by one fill
     pattern (sparse or factory-fresh devices) stays cheap in memory.
     """
     bs = device.block_size
+    frozen = device.freeze_image()
+    if frozen is not None:
+        return Snapshot(
+            label=label,
+            taken_at=taken_at,
+            block_size=bs,
+            blocks=frozen.blocks,
+            hashes=frozen.hashes,
+        )
     total = device.num_blocks
     chunk = max(1, (1 << 20) // bs)
     interned: Dict[bytes, bytes] = {}

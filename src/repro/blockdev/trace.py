@@ -20,7 +20,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro import obs
 from repro.blockdev.clock import SimClock
-from repro.blockdev.device import BlockDevice, ExtentCosts
+from repro.blockdev.device import BlockDevice, ExtentCosts, replay_per_block
+from repro.blockdev.store import FrozenImage
 
 
 @dataclass(frozen=True)
@@ -57,15 +58,6 @@ class TracingDevice(BlockDevice):
             self._sink(event)
         obs.publish_io(event)
 
-    def _read(self, block: int) -> bytes:
-        data = self._base.read_block(block)
-        self._record("read", block)
-        return data
-
-    def _write(self, block: int, data: bytes) -> None:
-        self._base.write_block(block, data)
-        self._record("write", block)
-
     def _discard(self, block: int) -> None:
         self._base.discard(block)
         self._record("discard", block)
@@ -81,7 +73,11 @@ class TracingDevice(BlockDevice):
         # block's completion, so the extent must decompose here; without one
         # all events stamp 0.0 and the extent can pass through whole.
         if self._clock is not None:
-            return super()._read_extent(start, count, costs)
+            parts = []
+            for i in replay_per_block(costs, count):
+                parts.append(self._base.read_block(start + i))
+                self._record("read", start + i)
+            return b"".join(parts)
         data = self._base.read_blocks(start, count, costs)
         for i in range(count):
             self._record("read", start + i)
@@ -91,7 +87,10 @@ class TracingDevice(BlockDevice):
         self, start: int, data: bytes, costs: Optional[ExtentCosts]
     ) -> None:
         if self._clock is not None:
-            super()._write_extent(start, data, costs)
+            bs = self.block_size
+            for i in replay_per_block(costs, len(data) // bs):
+                self._base.write_block(start + i, data[i * bs : (i + 1) * bs])
+                self._record("write", start + i)
             return
         self._base.write_blocks(start, data, costs)
         for i in range(len(data) // self.block_size):
@@ -99,17 +98,14 @@ class TracingDevice(BlockDevice):
 
     # out-of-band access is deliberately NOT traced (the adversary's
     # snapshot capture must not perturb the trace)
-    def peek(self, block: int) -> bytes:
-        return self._base.peek(block)
-
-    def poke(self, block: int, data: bytes) -> None:
-        self._base.poke(block, data)
-
     def peek_extent(self, start: int, count: int) -> bytes:
         return self._base.peek_extent(start, count)
 
     def poke_extent(self, start: int, data: bytes) -> None:
         self._base.poke_extent(start, data)
+
+    def freeze_image(self) -> Optional[FrozenImage]:
+        return self._base.freeze_image()
 
     def clear(self) -> None:
         self.events.clear()

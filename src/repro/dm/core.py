@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.blockdev.device import BlockDevice, ExtentCosts
-from repro.errors import TableError
+from repro.errors import BadBlockSizeError, TableError
 
 
 class Target(ABC):
@@ -26,40 +26,30 @@ class Target(ABC):
         self.num_blocks = num_blocks
         self.block_size = block_size
 
-    @abstractmethod
     def read(self, block: int) -> bytes:
-        """Read virtual *block* (0-based within this target's segment)."""
+        """Read one block; sugar for a single-block extent."""
+        return self.read_extent(block, 1)
+
+    def write(self, block: int, data: bytes) -> None:
+        """Write one block; sugar for a single-block extent."""
+        self.write_extent(block, data)
 
     @abstractmethod
-    def write(self, block: int, data: bytes) -> None:
-        """Write virtual *block* within this target's segment."""
-
     def read_extent(
         self, block: int, count: int, costs: Optional[ExtentCosts] = None
     ) -> bytes:
-        """Read *count* consecutive blocks (default: per-block loop)."""
-        if costs is None or costs.empty:
-            return b"".join(self.read(block + i) for i in range(count))
-        parts = []
-        for i in range(count):
-            costs.replay_pre()
-            parts.append(self.read(block + i))
-            costs.replay_post()
-        return b"".join(parts)
+        """Read *count* consecutive blocks (0-based within this segment).
 
+        Extents are the only I/O representation: single blocks arrive as
+        one-block extents, and targets that must act block-at-a-time loop
+        via :func:`~repro.blockdev.device.replay_per_block`.
+        """
+
+    @abstractmethod
     def write_extent(
         self, block: int, data: bytes, costs: Optional[ExtentCosts] = None
     ) -> None:
-        """Write consecutive blocks (default: per-block loop)."""
-        bs = self.block_size
-        if costs is None or costs.empty:
-            for i in range(len(data) // bs):
-                self.write(block + i, data[i * bs : (i + 1) * bs])
-            return
-        for i in range(len(data) // bs):
-            costs.replay_pre()
-            self.write(block + i, data[i * bs : (i + 1) * bs])
-            costs.replay_post()
+        """Write consecutive blocks within this target's segment."""
 
     def discard(self, block: int) -> None:
         """Discard hint; targets may ignore it."""
@@ -114,14 +104,6 @@ class DMDevice(BlockDevice):
                 return entry, block - entry.start
         raise TableError(f"no table entry covers block {block}")  # pragma: no cover
 
-    def _read(self, block: int) -> bytes:
-        entry, offset = self._lookup(block)
-        return entry.target.read(offset)
-
-    def _write(self, block: int, data: bytes) -> None:
-        entry, offset = self._lookup(block)
-        entry.target.write(offset, data)
-
     def _read_extent(
         self, start: int, count: int, costs: Optional[ExtentCosts]
     ) -> bytes:
@@ -144,6 +126,34 @@ class DMDevice(BlockDevice):
             entry, offset = self._lookup(start)
             span = min(count, entry.length - offset)
             entry.target.write_extent(offset, data[pos : pos + span * bs], costs)
+            start += span
+            pos += span * bs
+            count -= span
+
+    # Out-of-band access on a dm device still resolves through the table
+    # (there is no medium *under* the mapping to image directly), so peeks
+    # ride the targets' normal extent path, as the historical per-block
+    # peek did.
+    def peek_extent(self, start: int, count: int) -> bytes:
+        parts = []
+        while count > 0:
+            entry, offset = self._lookup(start)
+            span = min(count, entry.length - offset)
+            parts.append(entry.target.read_extent(offset, span))
+            start += span
+            count -= span
+        return b"".join(parts)
+
+    def poke_extent(self, start: int, data: bytes) -> None:
+        bs = self._block_size
+        if len(data) % bs != 0:
+            raise BadBlockSizeError(len(data), bs)
+        count = len(data) // bs
+        pos = 0
+        while count > 0:
+            entry, offset = self._lookup(start)
+            span = min(count, entry.length - offset)
+            entry.target.write_extent(offset, data[pos : pos + span * bs])
             start += span
             pos += span * bs
             count -= span

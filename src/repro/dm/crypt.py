@@ -47,30 +47,8 @@ class CryptTarget(Target):
     def cipher(self) -> SectorCipher:
         return self._cipher
 
-    def _charge(self, nbytes: int) -> None:
-        if self._clock is not None and self._byte_cost:
-            self._clock.advance(nbytes * self._byte_cost, "crypto")
-
     def _sector_of(self, block: int) -> int:
         return block * self._sectors_per_block
-
-    def read(self, block: int) -> bytes:
-        with obs.deep_span("crypt.read", clock=self._clock):
-            ciphertext = self._device.read_block(block)
-            self._charge(len(ciphertext))
-            obs.counter_add("crypt.bytes_decrypted", len(ciphertext))
-            return self._cipher.decrypt_sector(
-                self._sector_of(block), ciphertext
-            )
-
-    def write(self, block: int, data: bytes) -> None:
-        with obs.deep_span("crypt.write", clock=self._clock):
-            self._charge(len(data))
-            obs.counter_add("crypt.bytes_encrypted", len(data))
-            ciphertext = self._cipher.encrypt_sector(
-                self._sector_of(block), data
-            )
-            self._device.write_block(block, ciphertext)
 
     def read_extent(
         self, block: int, count: int, costs: Optional[ExtentCosts] = None

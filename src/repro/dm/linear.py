@@ -22,12 +22,6 @@ class LinearTarget(Target):
         self._device = device
         self._offset = offset
 
-    def read(self, block: int) -> bytes:
-        return self._device.read_block(self._offset + block)
-
-    def write(self, block: int, data: bytes) -> None:
-        self._device.write_block(self._offset + block, data)
-
     def read_extent(
         self, block: int, count: int, costs: Optional[ExtentCosts] = None
     ) -> bytes:
@@ -50,12 +44,6 @@ class ZeroTarget(Target):
 
     def __init__(self, num_blocks: int, block_size: int) -> None:
         super().__init__(num_blocks, block_size)
-
-    def read(self, block: int) -> bytes:
-        return b"\x00" * self.block_size
-
-    def write(self, block: int, data: bytes) -> None:
-        pass
 
     def read_extent(
         self, block: int, count: int, costs: Optional[ExtentCosts] = None

@@ -36,12 +36,6 @@ class ThinDevice(BlockDevice):
     def provisioned_blocks(self) -> int:
         return self._record.provisioned_blocks
 
-    def _read(self, block: int) -> bytes:
-        return self._pool.read_mapped(self._record, block)
-
-    def _write(self, block: int, data: bytes) -> None:
-        self._pool.write_mapped(self._record, block, data)
-
     def _read_extent(
         self, start: int, count: int, costs: Optional[ExtentCosts]
     ) -> bytes:
@@ -51,6 +45,21 @@ class ThinDevice(BlockDevice):
         self, start: int, data: bytes, costs: Optional[ExtentCosts]
     ) -> None:
         self._pool.write_extent(self._record, start, data, costs)
+
+    # Out-of-band access resolves mappings through the pool like normal
+    # I/O does (a thin volume has no medium of its own to image); pokes
+    # provision blocks and fire the dummy-write hook, as they always have.
+    def peek_extent(self, start: int, count: int) -> bytes:
+        record = self._record
+        read_mapped = self._pool.read_mapped
+        return b"".join(read_mapped(record, start + i) for i in range(count))
+
+    def poke_extent(self, start: int, data: bytes) -> None:
+        bs = self._block_size
+        record = self._record
+        write_mapped = self._pool.write_mapped
+        for i in range(len(data) // bs):
+            write_mapped(record, start + i, data[i * bs : (i + 1) * bs])
 
     def _discard(self, block: int) -> None:
         self._pool.discard_mapped(self._record, block)
@@ -66,12 +75,6 @@ class ThinTarget(Target):
         record = pool.volume_record(vol_id)
         super().__init__(record.virtual_blocks, pool.block_size)
         self._device = ThinDevice(pool, record)
-
-    def read(self, block: int) -> bytes:
-        return self._device.read_block(block)
-
-    def write(self, block: int, data: bytes) -> None:
-        self._device.write_block(block, data)
 
     def read_extent(
         self, block: int, count: int, costs: Optional[ExtentCosts] = None

@@ -718,8 +718,8 @@ class Ext4Filesystem(Filesystem):
         lookup when the lookup itself touches no device blocks (pointer
         chain cached; any allocation memory-only) — otherwise the deferred
         data I/O would reorder against the mapping I/O and perturb the
-        simulated clock. Not-ready blocks fall back to the classic
-        per-block step.
+        simulated clock. Not-ready blocks fall back to the per-block
+        step (single-block extents through the same extent IR).
         """
         ppb = self._pointers_per_block
         if index < NUM_DIRECT:
@@ -739,7 +739,7 @@ class Ext4Filesystem(Filesystem):
             return (not allocate) or self._alloc_ready(goal)
         index -= ppb
         if index >= ppb * ppb:
-            return False  # let the classic path raise NoSpaceError
+            return False  # let the per-block step raise NoSpaceError
         if inode.double_indirect == 0:
             return not allocate
         level1 = self._pointer_cache.get(inode.double_indirect)

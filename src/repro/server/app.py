@@ -106,10 +106,14 @@ class PDEServer:
         db=":memory:",
         stream_dir=".",
         max_workers: int = DEFAULT_WORKERS,
+        store_backend: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port  # updated to the bound port by start()
         self.stream_dir = stream_dir
+        # which BlockStore backend hosts device bytes ("ram"/"mmap"/"cow");
+        # host policy, not persisted — None defers to $REPRO_STORE
+        self.store_backend = store_backend
         self.store = FleetStore(db)
         self.executor = FleetExecutor(max_workers)
         self.devices: Dict[int, ServerDevice] = {}
@@ -128,7 +132,8 @@ class PDEServer:
         self._stop = asyncio.Event()
         for record in self.store.list_devices():
             device = await self.executor.run_unlocked(
-                ServerDevice.resume, record, self.store, self.stream_dir
+                ServerDevice.resume,
+                record, self.store, self.stream_dir, self.store_backend,
             )
             self.devices[device.id] = device
             self.resumed_devices += 1
@@ -397,6 +402,7 @@ class PDEServer:
             device = await self.executor.run_unlocked(
                 ServerDevice.create,
                 device_id, config, self.store, self.stream_dir,
+                self.store_backend,
             )
         except Exception:
             self.store.delete_device(device_id)

@@ -16,8 +16,13 @@ must not share). Each device owns a private
 :class:`~repro.obs.metrics.MetricRegistry`, confined to its lock.
 
 After every mutating op the device checkpoints: ``sync()`` if booted,
-then a block-interned image of the medium into the
-:class:`~repro.server.store.FleetStore`. :meth:`ServerDevice.resume`
+then a block-interned image of every medium plus the lifecycle state row
+into the :class:`~repro.server.store.FleetStore` — all in **one** SQLite
+transaction (:meth:`~repro.server.store.FleetStore.checkpoint`), so a
+daemon killed mid-checkpoint leaves the previous consistent checkpoint
+behind, never a torn one. Devices on the copy-on-write store hand the
+capture a frozen image with per-block hashes attached, so a checkpoint
+costs O(dirty blocks), not O(device size). :meth:`ServerDevice.resume`
 inverts that on daemon restart — a restart is a fleet-wide power event;
 devices come back OFFLINE and are booted again over their restored
 medium (``after_crash`` persisting across the restart).
@@ -161,8 +166,13 @@ class DeviceConfig:
             num_volumes=self.num_volumes, allocation=self.allocation
         )
 
-    def make_phone(self) -> Phone:
-        return Phone(seed=self.seed, userdata_blocks=self.userdata_blocks)
+    def make_phone(self, store: Optional[str] = None) -> Phone:
+        # *store* is host policy (which BlockStore backend holds the
+        # bytes), not part of the persisted device spec: the same fleet db
+        # can be served with ``--store ram`` one day and ``mmap`` the next.
+        return Phone(
+            seed=self.seed, userdata_blocks=self.userdata_blocks, store=store
+        )
 
 
 def decode_write_request(payload: object) -> Tuple[str, bytes]:
@@ -202,11 +212,12 @@ class ServerDevice:
         config: DeviceConfig,
         store,
         stream_dir,
+        store_backend: Optional[str] = None,
     ) -> None:
         self.id = device_id
         self.config = config
         self.store = store
-        self.phone = config.make_phone()
+        self.phone = config.make_phone(store=store_backend)
         self.system = MobiCealSystem(self.phone, config.mobiceal_config())
         self.metrics = MetricRegistry()
         self.writer = SpoolWriter(spool_path(stream_dir, device_id), device_id)
@@ -219,9 +230,16 @@ class ServerDevice:
     # -- construction ----------------------------------------------------------
 
     @classmethod
-    def create(cls, device_id: int, config: DeviceConfig, store, stream_dir):
+    def create(
+        cls,
+        device_id: int,
+        config: DeviceConfig,
+        store,
+        stream_dir,
+        store_backend: Optional[str] = None,
+    ):
         """Build and initialize a brand-new device (``POST /devices``)."""
-        device = cls(device_id, config, store, stream_dir)
+        device = cls(device_id, config, store, stream_dir, store_backend)
         device.phone.framework.power_on()
         device.system.initialize(
             config.decoy_password,
@@ -237,17 +255,23 @@ class ServerDevice:
         return device
 
     @classmethod
-    def resume(cls, record: Dict[str, object], store, stream_dir):
+    def resume(
+        cls,
+        record: Dict[str, object],
+        store,
+        stream_dir,
+        store_backend: Optional[str] = None,
+    ):
         """Rebuild a device from its SQLite row after a daemon restart."""
         config = DeviceConfig.from_spec(record["spec"])
-        device = cls(int(record["id"]), config, store, stream_dir)
+        device = cls(int(record["id"]), config, store, stream_dir, store_backend)
         for medium, target in device._media():
             image = store.load_image(device.id, medium)
             if image is None:
                 continue
             restore(target, image)
             if medium == "userdata":
-                device.image_digest = image.digest()
+                device.image_digest = image.manifest_digest()
         state = record.get("state") or {}
         # the restart is a power event: whatever mode the device was in,
         # it comes back OFFLINE over the restored medium
@@ -447,13 +471,22 @@ class ServerDevice:
         )
 
     def _checkpoint(self) -> None:
-        """Persist all media + lifecycle state; the restart contract."""
+        """Persist all media + lifecycle state; the restart contract.
+
+        All three images and the state row land in **one** SQLite
+        transaction, so a daemon killed between rows can never leave a
+        userdata image from checkpoint N next to a devlog image from
+        checkpoint N-1. On a copy-on-write store the captures are frozen
+        images (only dirty blocks get hashed), making the steady-state
+        checkpoint O(blocks touched since the last one).
+        """
         if self.system.mode in (Mode.PUBLIC, Mode.HIDDEN):
             self.system.sync()
         for mountpoint in ("/cache", "/devlog"):
             fs = self.phone.framework.mounts.get(mountpoint)
             if fs is not None and fs.mounted:
                 fs.flush()
+        images: Dict[str, Snapshot] = {}
         for medium, source in self._media():
             image = capture(
                 source,
@@ -461,9 +494,9 @@ class ServerDevice:
                 taken_at=self.phone.clock.now,
             )
             if medium == "userdata":
-                self.image_digest = image.digest()
-            self.store.save_image(self.id, medium, image)
-        self.store.update_state(self.id, self.state_dict())
+                self.image_digest = image.manifest_digest()
+            images[medium] = image
+        self.store.checkpoint(self.id, images, self.state_dict())
 
     def state_dict(self) -> Dict[str, object]:
         return {

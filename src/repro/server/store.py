@@ -183,6 +183,21 @@ class FleetStore:
     # -- images & snapshots ----------------------------------------------------
 
     def _intern_blocks_locked(self, snapshot: Snapshot) -> List[str]:
+        if snapshot.hashes is not None:
+            # A frozen CoW capture arrives with every block's hash already
+            # computed (unchanged blocks carry the hash cached at the last
+            # freeze), so interning costs one INSERT per *distinct* block
+            # and zero sha256 work here.
+            inserted: Dict[str, bool] = {}
+            for block, h in zip(snapshot.blocks, snapshot.hashes):
+                if h not in inserted:
+                    inserted[h] = True
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO blocks (hash, data) "
+                        "VALUES (?, ?)",
+                        (h, block),
+                    )
+            return list(snapshot.hashes)
         manifest: List[str] = []
         seen: Dict[int, str] = {}
         for block in snapshot.blocks:
@@ -223,6 +238,24 @@ class FleetStore:
             blocks=tuple(blocks),
         )
 
+    def _save_image_locked(
+        self, device_id: int, medium: str, snapshot: Snapshot
+    ) -> None:
+        """Intern + upsert one medium's image row; caller owns the commit."""
+        manifest = self._intern_blocks_locked(snapshot)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO images "
+            "(device_id, medium, block_size, taken_at, manifest) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                device_id,
+                medium,
+                snapshot.block_size,
+                snapshot.taken_at,
+                json.dumps(manifest),
+            ),
+        )
+
     def save_image(
         self, device_id: int, medium: str, snapshot: Snapshot
     ) -> None:
@@ -234,19 +267,38 @@ class FleetStore:
         filesystems, and their breadcrumbs are experiment data).
         """
         with self._lock:
-            manifest = self._intern_blocks_locked(snapshot)
-            self._conn.execute(
-                "INSERT OR REPLACE INTO images "
-                "(device_id, medium, block_size, taken_at, manifest) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    device_id,
-                    medium,
-                    snapshot.block_size,
-                    snapshot.taken_at,
-                    json.dumps(manifest),
-                ),
-            )
+            self._save_image_locked(device_id, medium, snapshot)
+            self._conn.commit()
+
+    def checkpoint(
+        self,
+        device_id: int,
+        images: Dict[str, Snapshot],
+        state: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Atomically persist a device's media images and lifecycle state.
+
+        All image rows (and the state row, when given) land in ONE SQLite
+        transaction: a daemon killed mid-checkpoint leaves the previous
+        consistent fleet image intact, never a torn one mixing media from
+        two different checkpoints. This is the only way a multi-medium
+        checkpoint should be written — per-medium :meth:`save_image` calls
+        commit independently and can tear.
+        """
+        with self._lock:
+            try:
+                for medium, snapshot in images.items():
+                    self._save_image_locked(device_id, medium, snapshot)
+                if state is not None:
+                    cur = self._conn.execute(
+                        "UPDATE devices SET state = ? WHERE id = ?",
+                        (json.dumps(state, sort_keys=True), device_id),
+                    )
+                    if cur.rowcount == 0:
+                        raise NoSuchDeviceError(device_id)
+            except BaseException:
+                self._conn.rollback()
+                raise
             self._conn.commit()
 
     def load_image(self, device_id: int, medium: str) -> Optional[Snapshot]:

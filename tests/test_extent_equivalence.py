@@ -25,7 +25,9 @@ from repro.blockdev import (
     EMMCDevice,
     LatencyModel,
     RAMBlockDevice,
+    STORE_KINDS,
     SimClock,
+    capture,
     per_block_baseline,
 )
 from repro.blockdev.faults import FaultPlan, FaultyBlockDevice
@@ -50,14 +52,15 @@ def _payload(tag: int, count: int) -> bytes:
     return bytes([(tag * 37 + i) % 251 for i in range(BS)]) * count
 
 
-def _build_block_stack(seed: int):
+def _build_block_stack(seed: int, store=None):
     """eMMC <- thin pool (random alloc + dummy hook) <- dm-crypt."""
     clock = SimClock()
     emmc = EMMCDevice(
-        192, clock=clock, latency=LATENCY, jitter=0.2, jitter_rng=Rng(seed)
+        192, clock=clock, latency=LATENCY, jitter=0.2, jitter_rng=Rng(seed),
+        store=store,
     )
     pool = ThinPool.format(
-        RAMBlockDevice(16), emmc,
+        RAMBlockDevice(16, store=store), emmc,
         allocation="random", rng=Rng(seed + 1),
         clock=clock, costs=THIN_COSTS,
     )
@@ -303,15 +306,16 @@ def test_edge_extents_all_cores():
 # ---------------------------------------------------------------------------
 
 
-def _build_faulty_stack(seed: int, plan: FaultPlan):
+def _build_faulty_stack(seed: int, plan: FaultPlan, store=None):
     """eMMC <- fault wrapper <- thin pool <- dm-crypt, plan armed."""
     clock = SimClock()
     emmc = EMMCDevice(
-        192, clock=clock, latency=LATENCY, jitter=0.2, jitter_rng=Rng(seed)
+        192, clock=clock, latency=LATENCY, jitter=0.2, jitter_rng=Rng(seed),
+        store=store,
     )
     faulty = FaultyBlockDevice(emmc, plan=plan)
     pool = ThinPool.format(
-        RAMBlockDevice(16), faulty,
+        RAMBlockDevice(16, store=store), faulty,
         allocation="random", rng=Rng(seed + 1),
         clock=clock, costs=THIN_COSTS,
     )
@@ -442,3 +446,120 @@ def test_faulty_interleaving_equivalence(seed, ops, cut_after, error_rate):
     for key, (out, stack) in legs.items():
         assert out == base_out, key
         assert _faulty_signature(stack, cross_path=True) == base_sig, key
+
+
+# ---------------------------------------------------------------------------
+# BlockStore backends: {ram, mmap, cow} must be unobservable
+# ---------------------------------------------------------------------------
+#
+# The store is a pure byte container below the extent IR; swapping it must
+# leave every observable — returned reads, device images, simulated clocks,
+# IOStats, RNG draw order — bit-identical, on either compute core. These
+# legs run the same stacks as above across the full
+# {ram, mmap, cow} x {numpy, reference} grid.
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), ops=op_lists)
+def test_block_stack_store_equivalence(seed, ops):
+    """crypt-thin-eMMC over every BlockStore backend x both cores."""
+    legs = []
+    for store in STORE_KINDS:
+        for use_reference in (False, True):
+            stack = _build_block_stack(seed, store=store)
+            if use_reference:
+                with reference_core():
+                    reads = _run_block_ops(stack, ops)
+            else:
+                reads = _run_block_ops(stack, ops)
+            legs.append(((store, use_reference), reads,
+                         _block_signature(stack)))
+    for key, reads, sig in legs[1:]:
+        assert reads == legs[0][1], key
+        assert sig == legs[0][2], key
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ops=faulty_op_lists,
+    cut_after=st.one_of(st.none(), st.integers(0, 80)),
+    error_rate=st.sampled_from([0.0, 0.2]),
+)
+def test_faulty_store_equivalence(seed, ops, cut_after, error_rate):
+    """Armed fault plans land identically on every store backend.
+
+    Transient errors, power cuts and torn writes are drawn per block from
+    the plan RNG; the backend under the medium must not shift a single
+    draw, so every outcome (including torn-write contents and power-cut
+    write counters) agrees bit-exactly across backends.
+    """
+    legs = []
+    for store in STORE_KINDS:
+        stack = _build_faulty_stack(
+            seed,
+            FaultPlan(
+                seed=seed,
+                power_cut_after_writes=cut_after,
+                torn_writes=True,
+                write_error_rate=error_rate,
+                read_error_rate=error_rate / 2,
+                transient_error_budget=4,
+            ),
+            store=store,
+        )
+        out = _run_faulty_ops(stack, ops)
+        legs.append((store, out, _faulty_signature(stack)))
+    for store, out, sig in legs[1:]:
+        assert out == legs[0][1], store
+        assert sig == legs[0][2], store
+
+
+def _pde_session_signature(store):
+    """A full PDE life: init, boot, write, crash, re-attach, recovery boot.
+
+    Mirrors the server's lifecycle ops (the same call sequence
+    ``ServerDevice`` makes), so this covers the crash/attach boots the
+    daemon relies on, per store backend.
+    """
+    from repro.android.framework import PhoneState
+    from repro.android.phone import Phone
+    from repro.core.config import MobiCealConfig
+    from repro.core.system import MobiCealSystem
+
+    config = MobiCealConfig(num_volumes=4)
+    phone = Phone(seed=13, store=store)
+    system = MobiCealSystem(phone, config)
+    phone.framework.power_on()
+    system.initialize("decoy", hidden_passwords=("hidden",))
+    # initialize() ends at the pre-boot prompt; no power_on needed
+    system.boot_with_password("decoy")
+    system.start_framework()
+    system.store_file("/sdcard/a.txt", b"a" * 5000)
+    system.sync()
+    system.crash()
+    # forensic re-attach over the same medium, then a recovery boot
+    if phone.framework.state is not PhoneState.POWER_OFF:
+        phone.framework.shutdown()
+    system = MobiCealSystem.attach(phone, config)
+    system.power_on()
+    system.boot_with_password("decoy", after_crash=True)
+    system.start_framework()
+    system.store_file("/sdcard/b.txt", b"b" * 3000)
+    assert system.read_file("/sdcard/a.txt") == b"a" * 5000
+    system.sync()
+    snap = capture(phone.userdata, label="end", taken_at=phone.clock.now)
+    return phone.clock.now, snap.digest(), snap.manifest_digest()
+
+
+def test_crash_attach_boot_store_equivalence():
+    """Crash + attach + recovery boot is backend-invariant.
+
+    The end-of-session image digest, its manifest digest and the final
+    simulated clock must agree across all three backends — including the
+    CoW leg, whose capture comes from ``freeze_image()`` rather than the
+    peek scan.
+    """
+    legs = [(store, _pde_session_signature(store)) for store in STORE_KINDS]
+    for store, sig in legs[1:]:
+        assert sig == legs[0][1], store
