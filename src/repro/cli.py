@@ -372,6 +372,10 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 
 def _cmd_metrics(args: argparse.Namespace) -> None:
     recorder = _observed_session(args.seed, _userdata_blocks(args))
+    if getattr(args, "format", "text") == "prom":
+        # same renderer the daemon's /metrics?format=prom uses
+        print(obs.render_prom(recorder.metrics), end="")
+        return
     print(obs.render_metrics(recorder))
 
 
@@ -725,6 +729,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         stream_dir=args.stream_dir,
         max_workers=args.workers,
         store_backend=store_backend,
+        tracing=not args.no_tracing,
+        trace_seed=args.seed,
+        slow_request_s=args.slow_request_s,
+        wedge_deadline_s=args.wedge_deadline_s,
     )
 
     async def _serve() -> None:
@@ -992,6 +1000,21 @@ def build_parser() -> argparse.ArgumentParser:
         "'ram' is the plain in-memory store (default: $REPRO_STORE if "
         "set, else cow)",
     )
+    p.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable request tracing: no X-Repro-Trace ids, no span "
+        "capture, no access.v1 log (deterministic metrics are unaffected)",
+    )
+    p.add_argument(
+        "--slow-request-s", type=float, default=1.0, metavar="S",
+        help="requests slower than S wall seconds auto-export their span "
+        "tree as a chrome-trace artifact into the stream dir (default 1.0)",
+    )
+    p.add_argument(
+        "--wedge-deadline-s", type=float, default=120.0, metavar="S",
+        help="/healthz answers 503 once any device op has been waiting or "
+        "running longer than S wall seconds (default 120)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1015,6 +1038,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "metrics", help="counters/gauges/histograms of an observed session"
+    )
+    p.add_argument(
+        "--format", choices=["text", "prom"], default="text",
+        help="text = human tables; prom = prometheus text exposition "
+        "(the same renderer the daemon's /metrics?format=prom uses)",
     )
     _add_userdata_mib(p)
     p.set_defaults(func=_cmd_metrics)

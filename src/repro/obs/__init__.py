@@ -80,7 +80,14 @@ from repro.obs.sketch import (
     QuantileSketch,
     median,
 )
+from repro.obs.promtext import (
+    info_lines,
+    parse_prom,
+    prom_lines,
+    render_prom,
+)
 from repro.obs.stream import (
+    ACCESS_SCHEMA,
     HEALTH_SCHEMA,
     TELEMETRY_SCHEMA,
     DeviceTelemetryStreamer,
@@ -151,6 +158,11 @@ __all__ = [
     "MetricSnapshot",
     "QuantileSketch",
     "median",
+    "info_lines",
+    "parse_prom",
+    "prom_lines",
+    "render_prom",
+    "ACCESS_SCHEMA",
     "HEALTH_SCHEMA",
     "TELEMETRY_SCHEMA",
     "DeviceTelemetryStreamer",

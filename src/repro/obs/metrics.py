@@ -206,6 +206,27 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        """The inclusive upper bucket edges (without the overflow bucket)."""
+        return self._bounds
+
+    def cumulative_buckets(self) -> Tuple[Tuple[float, int], ...]:
+        """Cumulative ``(upper_bound, count_at_or_below)`` pairs.
+
+        The Prometheus bucket model: each entry counts every observation
+        less than or equal to its bound, and the final ``(inf, count)``
+        entry covers the overflow bucket, so the last cumulative count
+        always equals :attr:`count`. Used by the text exposition renderer.
+        """
+        out = []
+        cumulative = 0
+        for bound, bucket_count in zip(self._bounds, self._counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((math.inf, self.count))
+        return tuple(out)
+
     def bucket_counts(self) -> Dict[str, int]:
         """Non-empty buckets keyed by upper bound (``inf`` = overflow)."""
         out: Dict[str, int] = {}

@@ -26,7 +26,13 @@ event                     payload
 ========================  ====================================================
 
 ``health.v1`` events (see :mod:`repro.obs.health`) share the envelope and
-are validated by the same :func:`validate_event`.
+are validated by the same :func:`validate_event`, as do the daemon's
+``access.v1`` request-log events (see :mod:`repro.server.app`) — one
+``request`` event per HTTP request, carrying the route template, status,
+wall/queue latency and trace id. Access events ride the same JSONL spool
+machinery but describe *service* traffic, not device simulation, so the
+reducer's merged telemetry and the live monitor's device rows ignore
+them.
 
 The reducer (:func:`reduce_spools`) folds spools in sorted-filename order
 through :class:`~repro.obs.export.PayloadAccumulator`, so its merged
@@ -59,6 +65,9 @@ TELEMETRY_SCHEMA = "telemetry.v1"
 #: Version tag carried by every health event line (repro.obs.health).
 HEALTH_SCHEMA = "health.v1"
 
+#: Version tag carried by every daemon access-log line (repro.server.app).
+ACCESS_SCHEMA = "access.v1"
+
 #: Default sim-time interval between periodic ``snapshot`` events.
 DEFAULT_SNAPSHOT_INTERVAL_S = 5.0
 
@@ -90,6 +99,22 @@ EVENT_FIELDS: Dict[str, Dict[str, tuple]] = {
 #: Required payload fields per health.v1 event type.
 HEALTH_EVENT_FIELDS: Dict[str, Dict[str, tuple]] = {
     "health": {"score": (int, float), "flags": (list,), "metrics": (dict,)},
+}
+
+#: Required payload fields per access.v1 event type. ``device`` in the
+#: envelope is the target device id, or -1 for fleet-level routes.
+ACCESS_EVENT_FIELDS: Dict[str, Dict[str, tuple]] = {
+    "request": {
+        "route": (str,),
+        "method": (str,),
+        "status": (int,),
+        "wall_ms": (int, float),
+        "queue_ms": (int, float),
+        "body_bytes": (int,),
+        "response_bytes": (int,),
+        "trace": (str,),
+        "span": (str,),
+    },
 }
 
 
@@ -154,6 +179,8 @@ def validate_event(event: object) -> List[str]:
         table = EVENT_FIELDS
     elif schema == HEALTH_SCHEMA:
         table = HEALTH_EVENT_FIELDS
+    elif schema == ACCESS_SCHEMA:
+        table = ACCESS_EVENT_FIELDS
     else:
         problems.append(f"unknown schema {schema!r}")
         return problems
@@ -521,6 +548,8 @@ def scan_spools(directory) -> FleetView:
         for event in iter_spool_events(path, tolerate_partial=True):
             if not isinstance(event, dict):
                 continue
+            if event.get("schema") == ACCESS_SCHEMA:
+                continue  # service traffic, not a device's simulation
             device = event.get("device")
             if not isinstance(device, int) or isinstance(device, bool):
                 continue

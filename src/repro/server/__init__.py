@@ -21,10 +21,14 @@ Layering:
   overlap; per-device op order — and hence every seeded clock/RNG draw —
   is exactly the request order);
 * :mod:`repro.server.app`      — request router, handlers, lifecycle;
+* :mod:`repro.server.trace`    — deterministic per-request trace contexts
+  (``X-Repro-Trace`` propagation, route templates);
 * :mod:`repro.server.stream`   — chunked JSONL telemetry streaming;
 * :mod:`repro.server.client`   — the stdlib client tests/CI/examples use.
 
-See ``docs/server.md`` for the API reference and guarantees.
+Every request is traced end to end (spans, ``access.v1`` log line,
+prometheus-scrapeable metrics) — see ``docs/server.md`` ("Operating the
+daemon") for the observability surface, API reference and guarantees.
 """
 
 from repro.server.app import PDEServer
@@ -32,6 +36,7 @@ from repro.server.client import ServerAPIError, ServerClient
 from repro.server.device import DeviceConfig, ServerDevice
 from repro.server.executor import FleetExecutor
 from repro.server.store import FleetStore
+from repro.server.trace import TraceContext, route_template
 
 __all__ = [
     "DeviceConfig",
@@ -41,4 +46,6 @@ __all__ = [
     "ServerAPIError",
     "ServerClient",
     "ServerDevice",
+    "TraceContext",
+    "route_template",
 ]

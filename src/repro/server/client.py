@@ -8,7 +8,14 @@ decoded ``{"error", "detail"}`` body.
 
 Thread-safe by construction: every call opens its own connection — the
 concurrency tests drive eight clients from eight threads against eight
-devices without sharing a socket.
+devices without sharing a socket. (``last_trace`` is per-client state:
+give each thread its own client when asserting trace continuity.)
+
+Tracing: set :attr:`ServerClient.trace_id` (lowercase hex) and every
+request carries it as ``X-Repro-Trace``; after any call,
+:attr:`ServerClient.last_trace` holds the daemon's response header
+(``trace_id:span_id``), so callers can assert end-to-end continuity —
+:func:`run_roundtrip` does exactly that when a trace id is set.
 """
 
 from __future__ import annotations
@@ -34,11 +41,20 @@ class ServerClient:
     """Talks to one daemon at ``host:port``."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: when set, every request carries ``X-Repro-Trace: {trace_id}``
+        self.trace_id = trace_id
+        #: the ``X-Repro-Trace`` header of the most recent response
+        #: (``trace_id:span_id``), or None if the daemon sent none
+        self.last_trace: Optional[str] = None
 
     # -- plumbing --------------------------------------------------------------
 
@@ -47,12 +63,18 @@ class ServerClient:
             self.host, self.port, timeout=self.timeout
         )
 
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Connection": "close"}
+        if self.trace_id is not None:
+            headers["X-Repro-Trace"] = self.trace_id
+        return headers
+
     def request(
         self, method: str, path: str, payload: Optional[Dict[str, object]] = None
     ) -> Dict[str, object]:
         """One JSON round-trip; raises :class:`ServerAPIError` on >= 400."""
         body = None
-        headers = {"Connection": "close"}
+        headers = self._headers()
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -61,6 +83,7 @@ class ServerClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+            self.last_trace = response.getheader("X-Repro-Trace")
             try:
                 decoded = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
@@ -78,6 +101,26 @@ class ServerClient:
 
     def metrics(self) -> Dict[str, object]:
         return self.request("GET", "/metrics")
+
+    def metrics_prom(self) -> str:
+        """``GET /metrics?format=prom`` — the raw text exposition body."""
+        conn = self._connect()
+        try:
+            conn.request(
+                "GET", "/metrics?format=prom", headers=self._headers()
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            self.last_trace = response.getheader("X-Repro-Trace")
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    decoded = {"detail": raw.decode("utf-8", "replace")}
+                raise ServerAPIError(response.status, decoded)
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
 
     def devices(self) -> List[Dict[str, object]]:
         return self.request("GET", "/devices")["devices"]
@@ -153,9 +196,10 @@ class ServerClient:
             conn.request(
                 "GET",
                 f"/devices/{device_id}/telemetry{query}",
-                headers={"Connection": "close"},
+                headers=self._headers(),
             )
             response = conn.getresponse()
+            self.last_trace = response.getheader("X-Repro-Trace")
             if response.status >= 400:
                 raw = response.read()
                 try:
@@ -199,18 +243,39 @@ def run_roundtrip(client: ServerClient) -> Tuple[int, List[Dict[str, object]]]:
     → write → snapshot → telemetry. Returns ``(device_id, events)``; every
     event has already been schema-validated by the caller's standards —
     this helper only asserts the stream parses and the device answered.
+
+    When ``client.trace_id`` is set, every response's ``X-Repro-Trace``
+    header is asserted to carry that trace id back — end-to-end trace
+    continuity over a real socket, including the chunked telemetry
+    stream.
     """
+
+    def check_trace() -> None:
+        if client.trace_id is None:
+            return
+        assert client.last_trace is not None, (
+            "daemon echoed no X-Repro-Trace header"
+        )
+        echoed = client.last_trace.split(":")[0]
+        assert echoed == client.trace_id, (
+            f"trace discontinuity: sent {client.trace_id}, daemon "
+            f"echoed {echoed}"
+        )
+
     created = client.create_device(
         "smoke", seed=7, hidden_passwords=["hid-pw"]
     )
+    check_trace()
     device_id = int(created["id"])
     client.boot(device_id, "decoy")
     client.write(device_id, "/sdcard/a.txt", b"public data")
     client.snapshot(device_id, label="checkpoint-1")
+    check_trace()
     client.crash(device_id)
     client.attach(device_id)
     client.boot(device_id, "decoy")
     client.write(device_id, "/sdcard/b.txt", b"more data")
     client.snapshot(device_id, label="checkpoint-2")
     events = list(client.telemetry(device_id))
+    check_trace()
     return device_id, events

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import base64
 import binascii
+import contextlib
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -48,15 +49,19 @@ from repro.errors import (
     ConfigError,
     ModeError,
 )
+from repro.obs.chrometrace import render_chrome_trace
 from repro.obs.export import SCHEMA_VERSION
 from repro.obs.gauges import pool_deniability_gauges
 from repro.obs.metrics import MetricRegistry
+from repro.obs.recorder import Recorder
 from repro.obs.sketch import MetricSnapshot
 from repro.obs.stream import SpoolWriter, spool_path
 
 #: Hard ceiling on hosted device size — the daemon keeps every device's
 #: medium in RAM, so one request must not be able to allocate gigabytes.
 MAX_USERDATA_BLOCKS = 1 << 20
+
+_NULL_CONTEXT = contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -213,6 +218,8 @@ class ServerDevice:
         store,
         stream_dir,
         store_backend: Optional[str] = None,
+        slow_request_s: Optional[float] = None,
+        wall_cb=None,
     ) -> None:
         self.id = device_id
         self.config = config
@@ -226,6 +233,15 @@ class ServerDevice:
         self.image_digest: Optional[str] = None
         self.created_wall = time.monotonic()
         self.finished = False
+        #: slow-request capture threshold (wall seconds); None disables
+        self.slow_request_s = slow_request_s
+        #: daemon callback for wall-clock durations (e.g. checkpoint time);
+        #: must be thread-safe — it is invoked from worker threads
+        self.wall_cb = wall_cb
+        # the request currently executing under this device's lock; only
+        # run_op sets these, so they are lock-confined like everything else
+        self._trace = None
+        self._trace_recorder: Optional[Recorder] = None
 
     # -- construction ----------------------------------------------------------
 
@@ -237,9 +253,14 @@ class ServerDevice:
         store,
         stream_dir,
         store_backend: Optional[str] = None,
+        slow_request_s: Optional[float] = None,
+        wall_cb=None,
     ):
         """Build and initialize a brand-new device (``POST /devices``)."""
-        device = cls(device_id, config, store, stream_dir, store_backend)
+        device = cls(
+            device_id, config, store, stream_dir, store_backend,
+            slow_request_s=slow_request_s, wall_cb=wall_cb,
+        )
         device.phone.framework.power_on()
         device.system.initialize(
             config.decoy_password,
@@ -261,10 +282,15 @@ class ServerDevice:
         store,
         stream_dir,
         store_backend: Optional[str] = None,
+        slow_request_s: Optional[float] = None,
+        wall_cb=None,
     ):
         """Rebuild a device from its SQLite row after a daemon restart."""
         config = DeviceConfig.from_spec(record["spec"])
-        device = cls(int(record["id"]), config, store, stream_dir, store_backend)
+        device = cls(
+            int(record["id"]), config, store, stream_dir, store_backend,
+            slow_request_s=slow_request_s, wall_cb=wall_cb,
+        )
         for medium, target in device._media():
             image = store.load_image(device.id, medium)
             if image is None:
@@ -292,6 +318,63 @@ class ServerDevice:
         return device
 
     # -- lifecycle ops (executor-thread, device-locked) ------------------------
+
+    def run_op(self, trace, op: str, fn, *args, **kwargs):
+        """Run one op under a per-request span recorder.
+
+        With *trace* ``None`` (tracing disabled) this is a bare call —
+        zero overhead, zero behavior change. When traced, the op runs
+        inside a fresh private :class:`Recorder` on the device's sim
+        clock (wall capture on), producing the nested span tree
+        ``http.{route}`` → ``queue.wait`` + ``device.{op}`` →
+        ``checkpoint``. The recorder is per-request and discarded after
+        the op — a resident daemon must not accumulate span history — and
+        it only *reads* the sim clock, so a traced op is byte-identical
+        to an untraced one.
+
+        If the op's wall time reaches ``slow_request_s``, the whole span
+        tree is exported as a chrome-trace artifact next to the device's
+        spool (``slow-{trace}-{span}.chrome.json``) before the recorder
+        is dropped; the artifact name lands on ``trace.slow_capture``.
+        """
+        if trace is None:
+            return fn(*args, **kwargs)
+        recorder = Recorder(clock=self.phone.clock, wall=True)
+        self._trace = trace
+        self._trace_recorder = recorder
+        started_wall = time.monotonic()
+        try:
+            with recorder.span(
+                f"http.{trace.route}",
+                trace=trace.trace_id,
+                span=trace.span_id,
+                method=trace.method,
+                device=self.id,
+            ):
+                with recorder.span(
+                    "queue.wait", wait_s=round(trace.queue_wait_s, 6)
+                ):
+                    pass
+                with recorder.span(f"device.{op}", trace=trace.trace_id):
+                    result = fn(*args, **kwargs)
+        finally:
+            self._trace = None
+            self._trace_recorder = None
+        trace.sim_t = self.phone.clock.now
+        wall_s = time.monotonic() - started_wall
+        if self.slow_request_s is not None and wall_s >= self.slow_request_s:
+            trace.slow_capture = self._export_slow_trace(trace, recorder)
+        return result
+
+    def _export_slow_trace(self, trace, recorder: Recorder) -> str:
+        """Drop the request's chrome trace next to the telemetry spool."""
+        name = f"slow-{trace.trace_id}-{trace.span_id}.chrome.json"
+        # trace ids are validated lowercase hex (server.trace), so the
+        # name cannot traverse; .chrome.json keeps it out of the *.jsonl
+        # globs the spool reducer and monitor fold
+        path = self.writer.path.parent / name
+        path.write_text(render_chrome_trace(recorder, timeline="sim"))
+        return name
 
     def boot(self, password: str, after_crash: Optional[bool] = None) -> Dict[str, object]:
         """Pre-boot auth + framework start; auto powers on if needed.
@@ -452,12 +535,18 @@ class ServerDevice:
             for name, value in pool_deniability_gauges(self.system.pool).items():
                 self.metrics.gauge(name).set(value)
         snapshot = MetricSnapshot.capture(self.metrics)
+        extra: Dict[str, object] = {}
+        if self._trace is not None:
+            # traced requests stamp their telemetry: the snapshot this op
+            # produced is joinable to the access-log line that caused it
+            extra["trace"] = self._trace.trace_id
         self.writer.emit(
             "snapshot",
             self.phone.clock.now,
             counters=snapshot.counters,
             counter_deltas=snapshot.delta(self._prev_snapshot),
             gauges=snapshot.gauges,
+            **extra,
         )
         self._prev_snapshot = snapshot
         self._checkpoint()
@@ -480,23 +569,33 @@ class ServerDevice:
         images (only dirty blocks get hashed), making the steady-state
         checkpoint O(blocks touched since the last one).
         """
-        if self.system.mode in (Mode.PUBLIC, Mode.HIDDEN):
-            self.system.sync()
-        for mountpoint in ("/cache", "/devlog"):
-            fs = self.phone.framework.mounts.get(mountpoint)
-            if fs is not None and fs.mounted:
-                fs.flush()
-        images: Dict[str, Snapshot] = {}
-        for medium, source in self._media():
-            image = capture(
-                source,
-                label=f"image-{self.id}-{medium}",
-                taken_at=self.phone.clock.now,
-            )
-            if medium == "userdata":
-                self.image_digest = image.manifest_digest()
-            images[medium] = image
-        self.store.checkpoint(self.id, images, self.state_dict())
+        recorder = self._trace_recorder
+        span = (
+            recorder.span("checkpoint", device=self.id)
+            if recorder is not None
+            else _NULL_CONTEXT
+        )
+        started_wall = time.monotonic()
+        with span:
+            if self.system.mode in (Mode.PUBLIC, Mode.HIDDEN):
+                self.system.sync()
+            for mountpoint in ("/cache", "/devlog"):
+                fs = self.phone.framework.mounts.get(mountpoint)
+                if fs is not None and fs.mounted:
+                    fs.flush()
+            images: Dict[str, Snapshot] = {}
+            for medium, source in self._media():
+                image = capture(
+                    source,
+                    label=f"image-{self.id}-{medium}",
+                    taken_at=self.phone.clock.now,
+                )
+                if medium == "userdata":
+                    self.image_digest = image.manifest_digest()
+                images[medium] = image
+            self.store.checkpoint(self.id, images, self.state_dict())
+        if self.wall_cb is not None:
+            self.wall_cb("server.checkpoint_s", time.monotonic() - started_wall)
 
     def state_dict(self) -> Dict[str, object]:
         return {

@@ -28,6 +28,7 @@ import json
 import pathlib
 import sqlite3
 import threading
+import time
 from typing import Dict, List, Optional
 
 from repro.blockdev.snapshot import Snapshot
@@ -89,6 +90,11 @@ class FleetStore:
         # one connection shared across worker threads, guarded by _lock
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._lock = threading.Lock()
+        # operational bookkeeping (not persisted): how many checkpoint
+        # transactions this process has committed, and the wall seconds
+        # the most recent one took inside the lock
+        self.checkpoints = 0
+        self.last_checkpoint_wall_s = 0.0
         with self._lock:
             self._conn.executescript(_SCHEMA)
             row = self._conn.execute(
@@ -286,6 +292,7 @@ class FleetStore:
         commit independently and can tear.
         """
         with self._lock:
+            started = time.monotonic()
             try:
                 for medium, snapshot in images.items():
                     self._save_image_locked(device_id, medium, snapshot)
@@ -300,6 +307,8 @@ class FleetStore:
                 self._conn.rollback()
                 raise
             self._conn.commit()
+            self.checkpoints += 1
+            self.last_checkpoint_wall_s = time.monotonic() - started
 
     def load_image(self, device_id: int, medium: str) -> Optional[Snapshot]:
         with self._lock:
@@ -379,14 +388,16 @@ class FleetStore:
             self._conn.execute("DELETE FROM blocks WHERE hash = ?", (h,))
         return len(orphans)
 
-    def stats(self) -> Dict[str, int]:
-        """Row counts, for ``/healthz`` and tests."""
+    def stats(self) -> Dict[str, object]:
+        """Row counts + checkpoint bookkeeping, for ``/healthz`` and tests."""
         with self._lock:
-            out = {}
+            out: Dict[str, object] = {}
             for table in ("devices", "blocks", "images", "snapshots"):
                 out[table] = self._conn.execute(
                     f"SELECT COUNT(*) FROM {table}"  # fixed table names
                 ).fetchone()[0]
+            out["checkpoints"] = self.checkpoints
+            out["last_checkpoint_wall_s"] = self.last_checkpoint_wall_s
             return out
 
     def close(self) -> None:

@@ -61,6 +61,25 @@ def encode_chunk(data: bytes) -> bytes:
 LAST_CHUNK = b"0\r\n\r\n"
 
 
+def chunked_head(server_name: str, trace_header: Optional[str] = None) -> bytes:
+    """The response head for a chunked JSONL stream.
+
+    *trace_header* is the outbound ``X-Repro-Trace`` value, when the
+    request is traced — a streamed response must carry the trace id in
+    its head because the body is open-ended.
+    """
+    lines = [
+        "HTTP/1.1 200 OK",
+        f"Server: {server_name}",
+        "Content-Type: application/x-ndjson",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    if trace_header is not None:
+        lines.append(f"X-Repro-Trace: {trace_header}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
 async def stream_spool(
     writer: asyncio.StreamWriter,
     path,

@@ -1,0 +1,140 @@
+"""Request-scoped trace context for the PDE daemon.
+
+Every HTTP request the daemon handles gets a :class:`TraceContext`: a
+``trace_id`` naming the end-to-end operation and a ``span_id`` naming the
+server's handling of this one request. Ids are minted deterministically
+from a seeded :class:`~repro.crypto.rng.Rng` fork (the daemon's fleet
+RNG), so a daemon driven by the same request sequence mints the same ids
+— trace ids are replayable experiment data, like everything else in the
+simulator.
+
+Propagation uses one header, ``X-Repro-Trace``:
+
+* **inbound** — ``trace_id`` or ``trace_id:span_id``. A valid inbound
+  trace id is honored (the caller owns the trace); its span id, if any,
+  becomes this request's ``parent_span_id``. Invalid values are ignored
+  and a fresh trace is minted — a malformed header must not be able to
+  fail a request or inject arbitrary strings into span attributes,
+  access-log lines or artifact filenames (ids are lowercase hex only,
+  which keeps them filesystem- and exposition-format-safe).
+* **outbound** — every response carries ``X-Repro-Trace:
+  trace_id:span_id``, so a client can assert trace continuity and join
+  server-side artifacts (access log lines, exported spans) to its call.
+
+The context also accumulates what the request learned along the way —
+route template, queue wait, the device's sim clock after the op, the
+slow-capture artifact name — so the access log line at the end of the
+request is assembled from one object instead of threaded piecemeal.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: The one propagation header, both directions.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Valid trace/span ids: lowercase hex, bounded length (path-safe).
+_ID_RE = re.compile(r"^[0-9a-f]{1,64}$")
+
+#: Device actions that form route templates (``device.{action}``).
+_DEVICE_ACTIONS = frozenset(
+    {"boot", "switch", "write", "crash", "attach", "snapshot", "file",
+     "telemetry"}
+)
+
+
+@dataclass
+class TraceContext:
+    """One request's identity plus what the daemon measured handling it."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+    #: route template (see :func:`route_template`) and HTTP method
+    route: str = "unmatched"
+    method: str = ""
+    #: target device id; -1 for fleet-level routes
+    device: int = -1
+    #: wall seconds spent waiting for the device lock + a worker
+    queue_wait_s: float = 0.0
+    #: the device's sim clock after the op (0.0 for non-device routes)
+    sim_t: float = 0.0
+    #: filename of the slow-request chrome-trace artifact, if captured
+    slow_capture: Optional[str] = field(default=None)
+
+    def header(self) -> str:
+        """The outbound ``X-Repro-Trace`` value."""
+        return f"{self.trace_id}:{self.span_id}"
+
+
+def parse_trace_header(value: str) -> Optional[Tuple[str, Optional[str]]]:
+    """Parse an inbound header into ``(trace_id, parent_span_id)``.
+
+    Returns ``None`` for anything malformed — the caller mints a fresh
+    trace instead of failing the request.
+    """
+    if not isinstance(value, str):
+        return None
+    trace_id, sep, parent = value.strip().lower().partition(":")
+    if not _ID_RE.match(trace_id):
+        return None
+    if sep and not _ID_RE.match(parent):
+        return None
+    return trace_id, (parent if sep else None)
+
+
+def mint_trace(
+    rng, header_value: Optional[str] = None, method: str = "", route: str = "unmatched"
+) -> TraceContext:
+    """Mint this request's :class:`TraceContext`.
+
+    The span id is always freshly drawn; the trace id is taken from a
+    valid inbound header, else drawn too. Draw order is fixed (span
+    first), so the id sequence is a pure function of the seed and the
+    request arrival order — minting happens on the event loop, which
+    serializes it.
+    """
+    span_id = rng.random_bytes(4).hex()
+    trace_id: Optional[str] = None
+    parent: Optional[str] = None
+    if header_value is not None:
+        parsed = parse_trace_header(header_value)
+        if parsed is not None:
+            trace_id, parent = parsed
+    if trace_id is None:
+        trace_id = rng.random_bytes(8).hex()
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_span_id=parent,
+        method=method,
+        route=route,
+    )
+
+
+def route_template(path: str) -> str:
+    """Collapse a request path onto its route template.
+
+    Bounded-cardinality route names keyed into the per-route metrics —
+    ``server.requests.{route}.{method}.{status_family}`` — so a flood of
+    404s against random paths lands on one ``unmatched`` counter instead
+    of minting a metric per probe.
+    """
+    segments = [s for s in path.split("/") if s]
+    if not segments:
+        return "root"
+    if segments == ["healthz"]:
+        return "healthz"
+    if segments == ["metrics"]:
+        return "metrics"
+    if segments[0] == "devices":
+        if len(segments) == 1:
+            return "devices"
+        if len(segments) == 2:
+            return "device"
+        if len(segments) == 3 and segments[2] in _DEVICE_ACTIONS:
+            return f"device.{segments[2]}"
+    return "unmatched"

@@ -10,6 +10,7 @@ direct unit tests where sockets would only add noise.
 import http.client
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -37,13 +38,14 @@ from repro.server.client import run_roundtrip
 class RunningServer:
     """Context manager: a daemon in a thread, a client pointed at it."""
 
-    def __init__(self, stream_dir, db=":memory:", max_workers=8):
+    def __init__(self, stream_dir, db=":memory:", max_workers=8, **kwargs):
         self.server = PDEServer(
             host="127.0.0.1",
             port=0,
             db=db,
             stream_dir=stream_dir,
             max_workers=max_workers,
+            **kwargs,
         )
         self.thread = None
 
@@ -173,8 +175,18 @@ class TestLifecycle:
             metrics = client.metrics()
             assert metrics["schema_version"] == 1
             counters = metrics["server"]["counters"]
+            # the deprecated per-method total (kept one release) and its
+            # per-route replacement both count the create
             assert counters["server.requests.POST"] >= 1
+            assert counters["server.requests.devices.POST.2xx"] == 1
             assert metrics["server"]["gauges"]["server.devices"] == 1
+            # wall-clock data (latency histograms, saturation gauges) is
+            # structurally separated under its own key
+            wall = metrics["wall"]
+            # latency lands post-response, so the earlier healthz request
+            # is visible here while this scrape's own is not yet
+            assert "server.latency.healthz" in wall["histograms"]
+            assert "server.executor.queue_depth" in wall["gauges"]
             # /metrics carries no wall clock — repeat calls differ only in
             # the request counters themselves
             again = client.metrics()["server"]["counters"]
@@ -327,6 +339,231 @@ class TestConcurrencyDeterminism:
         assert parallel == serial
 
 
+class TestTracing:
+    def test_trace_header_end_to_end(self, tmp_path):
+        """The acceptance path: one trace id through the whole stack.
+
+        A client-chosen ``X-Repro-Trace`` id must come back in every
+        response header, stamp the telemetry snapshots it caused, land on
+        every ``access.v1`` line, show up in the prom exposition, and —
+        with ``slow_request_s=0.0`` turning every op into a "slow"
+        request — produce chrome-trace artifacts whose span tree nests
+        http → queue.wait + device op → checkpoint.
+        """
+        trace_id = "feedc0dedeadbeef"
+        runner = RunningServer(tmp_path, slow_request_s=0.0)
+        with runner as base:
+            client = ServerClient(base.host, base.port, trace_id=trace_id)
+            # run_roundtrip itself asserts header continuity per response
+            device_id, events = run_roundtrip(client)
+
+            echoed, _, span = (client.last_trace or "").partition(":")
+            assert echoed == trace_id
+            assert span and set(span) <= set("0123456789abcdef")
+
+            # the op's telemetry snapshot is joinable to the access line
+            traced = [
+                e for e in events
+                if e["event"] == "snapshot" and e.get("trace") == trace_id
+            ]
+            assert traced, "no telemetry snapshot carried the trace id"
+
+            prom = client.metrics_prom()
+            assert f'trace_id="{trace_id}"' in prom
+            assert "repro_wall_server_slow_requests_total" in prom
+            families = obs.parse_prom(prom)
+            assert any(
+                name.startswith("repro_server_requests_")
+                for name in families
+            )
+
+        # access log (flushed on daemon close): schema-valid access.v1
+        lines = (tmp_path / "access.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records
+        for record in records:
+            assert record["schema"] == "access.v1"
+            assert obs_stream.validate_event(record) == []
+            assert record["trace"] == trace_id
+            assert record["wall_ms"] >= 0.0
+            assert record["queue_ms"] >= 0.0
+        routes = {r["route"] for r in records}
+        assert {"devices", "device.boot", "device.snapshot",
+                "device.telemetry", "metrics"} <= routes
+        boot = next(r for r in records if r["route"] == "device.boot")
+        assert boot["status"] == 200
+        assert boot["method"] == "POST"
+        assert boot["device"] == device_id
+
+        # slow captures: one chrome trace per traced device op, nested
+        captures = sorted(tmp_path.glob(f"slow-{trace_id}-*.chrome.json"))
+        assert captures, "slow_request_s=0.0 exported no captures"
+        from repro.obs.chrometrace import validate_trace_events
+
+        for path in captures:
+            doc = json.loads(path.read_text())
+            assert validate_trace_events(doc["traceEvents"]) == []
+        names_per_capture = [
+            {e.get("name") for e in json.loads(p.read_text())["traceEvents"]}
+            for p in captures
+        ]
+        snapshot_ops = [
+            names for names in names_per_capture
+            if "http.device.snapshot" in names
+        ]
+        assert snapshot_ops, "no capture for a snapshot op"
+        for names in snapshot_ops:
+            assert "queue.wait" in names
+            assert "device.snapshot" in names
+            assert "checkpoint" in names
+
+    def test_invalid_inbound_trace_is_replaced_not_rejected(self, tmp_path):
+        with RunningServer(tmp_path) as client:
+            bad = ServerClient(client.host, client.port,
+                               trace_id="NOT-hex-AT-ALL")
+            assert bad.healthz()["status"] == "ok"
+            minted, _, span = (bad.last_trace or "").partition(":")
+            # a fresh deterministic mint, not the garbage we sent
+            assert minted != "not-hex-at-all"
+            assert set(minted) <= set("0123456789abcdef")
+            assert len(minted) == 16 and len(span) == 8
+            # the trace:parent form links to an upstream span
+            linked = ServerClient(client.host, client.port,
+                                  trace_id="abc123:beef")
+            linked.healthz()
+            assert (linked.last_trace or "").split(":")[0] == "abc123"
+
+    def test_tracing_off_no_header_no_access_log(self, tmp_path):
+        with RunningServer(tmp_path, tracing=False) as client:
+            client.create_device("quiet")
+            client.healthz()
+            assert client.last_trace is None
+        assert not (tmp_path / "access.jsonl").exists()
+        assert not list(tmp_path.glob("slow-*.chrome.json"))
+
+    def test_unknown_metrics_format_400(self, tmp_path):
+        with RunningServer(tmp_path) as client:
+            with pytest.raises(ServerAPIError) as exc:
+                client.request("GET", "/metrics?format=xml")
+            assert exc.value.status == 400
+            assert "metrics format" in exc.value.payload["detail"]
+
+
+class TestHealthSaturation:
+    def test_healthz_reports_executor_saturation(self, tmp_path):
+        with RunningServer(tmp_path) as client:
+            client.create_device("sat")
+            health = client.healthz()
+            executor = health["executor"]
+            assert executor["workers"] == 8
+            assert executor["queue_depth"] == 0
+            assert executor["ops_inflight"] == 0
+            assert executor["ops_executed"] >= 1
+            assert 0.0 <= executor["busy_fraction"] <= 1.0
+            assert executor["per_device_queue"] == {}
+            assert health["ops_inflight"] == 0
+            assert health["wedge_deadline_s"] == 120.0
+
+    def test_healthz_503_when_executor_wedged(self, tmp_path):
+        runner = RunningServer(tmp_path, wedge_deadline_s=5.0)
+        with runner as client:
+            assert client.healthz()["status"] == "ok"
+            # fake a stuck op: an inflight ticket far older than the
+            # deadline — exactly what a deadlocked worker looks like
+            runner.server.executor._inflight_since[10**9] = (
+                time.monotonic() - 60.0
+            )
+            with pytest.raises(ServerAPIError) as exc:
+                client.healthz()
+            assert exc.value.status == 503
+            assert exc.value.payload["status"] == "wedged"
+            assert exc.value.payload["executor"]["oldest_op_age_s"] > 5.0
+            # the probe recovers the moment the op drains
+            del runner.server.executor._inflight_since[10**9]
+            assert client.healthz()["status"] == "ok"
+
+
+def _storm(client, device_id):
+    """One thread's mixed-route storm: success, error and scrape paths."""
+    client.boot(device_id, "decoy")
+    client.write(device_id, "/sdcard/a", b"a" * 4096)
+    client.read_file(device_id, "/sdcard/a")
+    client.snapshot(device_id, label="s")
+    with pytest.raises(ServerAPIError):
+        client.boot(device_id, "decoy")  # 409 on the boot route
+    with pytest.raises(ServerAPIError):
+        client.device(99999)  # 404 on the device route
+    with pytest.raises(ServerAPIError):
+        client.request("GET", "/nonsense")  # 404, route "unmatched"
+    client.healthz()
+    client.metrics()
+    client.metrics_prom()
+
+
+class TestMetricsDeterminism:
+    """Deterministic metrics are a pure function of the request multiset.
+
+    Hammer the daemon with four threads of mixed routes over real
+    sockets, then scrape. The ``server`` half of the JSON payload and the
+    non-``repro_wall_`` half of the prom text must be byte-identical
+    across repeat runs and with tracing on or off — wall-clock data is
+    confined to the ``wall`` key / ``repro_wall_`` namespace.
+    """
+
+    def _run_storm(self, stream_dir, tracing):
+        with RunningServer(stream_dir, tracing=tracing) as client:
+            ids = [
+                int(client.create_device(f"d{i}", seed=i)["id"])
+                for i in range(4)
+            ]
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(
+                        _storm,
+                        ServerClient(
+                            client.host, client.port,
+                            trace_id=f"{i:016x}" if tracing else None,
+                        ),
+                        device_id,
+                    )
+                    for i, device_id in enumerate(ids)
+                ]
+                for future in futures:
+                    future.result()
+            payload = client.metrics()
+            prom = client.metrics_prom()
+        deterministic_json = json.dumps(
+            {
+                "schema_version": payload["schema_version"],
+                "server": payload["server"],
+            },
+            sort_keys=True,
+        )
+        deterministic_prom = "\n".join(
+            line for line in prom.splitlines()
+            if "repro_wall_" not in line
+        )
+        return deterministic_json, deterministic_prom, payload, prom
+
+    def test_scrapes_identical_across_runs_traced_or_not(self, tmp_path):
+        runs = [
+            self._run_storm(tmp_path / "a", tracing=True),
+            self._run_storm(tmp_path / "b", tracing=True),
+            self._run_storm(tmp_path / "c", tracing=False),
+        ]
+        base_json, base_prom = runs[0][0], runs[0][1]
+        for run_json, run_prom, payload, prom in runs:
+            assert run_json == base_json
+            assert run_prom == base_prom
+            # the wall half exists and the whole doc stays parseable
+            assert payload["wall"]["histograms"]
+            assert obs.parse_prom(prom)
+        # the trace info line is wall-namespaced (ids are wall state):
+        # present when traced, absent when not, filtered either way
+        assert "repro_wall_server_trace_info" in runs[0][3]
+        assert "repro_wall_server_trace_info" not in runs[2][3]
+
+
 class TestRestartResume:
     def test_restart_resumes_byte_identical_fleet(self, tmp_path):
         db = tmp_path / "fleet.db"
@@ -461,10 +698,16 @@ class TestFleetStore:
                                            taken_at=0.0)
         )
         assert store.stats()["blocks"] > 0
+        checkpoints_so_far = store.stats()["checkpoints"]
         store.delete_device(device_id)
-        assert store.stats() == {
-            "devices": 0, "blocks": 0, "images": 0, "snapshots": 0,
-        }
+        stats = store.stats()
+        assert {
+            key: stats[key]
+            for key in ("devices", "blocks", "images", "snapshots")
+        } == {"devices": 0, "blocks": 0, "images": 0, "snapshots": 0}
+        # checkpoint bookkeeping is operational, not row counts: deleting
+        # rows never rewinds it
+        assert stats["checkpoints"] == checkpoints_so_far
         store.close()
 
     def test_duplicate_name_and_missing_device(self, tmp_path):

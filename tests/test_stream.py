@@ -82,6 +82,66 @@ class TestValidateEvent:
         ]
 
 
+class TestAccessSchema:
+    """``access.v1`` — the daemon's request log rides the spool machinery."""
+
+    def _event(self, **overrides):
+        event = {
+            "schema": stream.ACCESS_SCHEMA, "event": "request",
+            "device": -1, "seq": 0, "sim_t": 0.0,
+            "route": "healthz", "method": "GET", "status": 200,
+            "wall_ms": 0.4, "queue_ms": 0.0,
+            "body_bytes": 0, "response_bytes": 123,
+            "trace": "feedc0de", "span": "beef",
+        }
+        event.update(overrides)
+        return event
+
+    def test_valid_access_line(self):
+        assert stream.validate_event(self._event()) == []
+
+    def test_missing_and_mistyped_fields(self):
+        problems = stream.validate_event(self._event(status="200"))
+        assert any("'status'" in p for p in problems)
+        event = self._event()
+        del event["trace"]
+        problems = stream.validate_event(event)
+        assert any("'trace'" in p for p in problems)
+        # bools must not pass as the integer byte counts
+        problems = stream.validate_event(self._event(body_bytes=True))
+        assert any("'body_bytes'" in p for p in problems)
+
+    def test_unknown_access_event_type(self):
+        problems = stream.validate_event(self._event(event="response"))
+        assert problems == ["unknown access.v1 event type 'response'"]
+
+    def _write_access_log(self, tmp_path):
+        with stream.SpoolWriter(tmp_path / "access.jsonl", -1) as writer:
+            writer.emit(
+                "request", 0.0, schema=stream.ACCESS_SCHEMA, device=-1,
+                route="device.boot", method="POST", status=200,
+                wall_ms=1.25, queue_ms=0.1, body_bytes=21,
+                response_bytes=64, trace="feedc0de", span="beef",
+            )
+
+    def test_scan_spools_skips_service_traffic(self, tmp_path):
+        # *.jsonl globbing folds access.jsonl into monitor scans too: the
+        # access lines must be recognized and skipped, not misread as a
+        # device's simulation telemetry
+        self._write_access_log(tmp_path)
+        with stream.SpoolWriter(stream.spool_path(tmp_path, 0), 0) as writer:
+            writer.emit("device_start", 0.0, spec={"index": 0})
+        view = stream.scan_spools(tmp_path)
+        assert set(view.devices) == {0}
+        assert view.events == 1  # the access line was never folded
+
+    def test_reducer_validates_but_ignores_access_lines(self, tmp_path):
+        self._write_access_log(tmp_path)
+        reduced = stream.reduce_spools(tmp_path)
+        assert reduced.devices == 0
+        assert reduced.finished == 0
+
+
 class TestSpoolWriter:
     def test_zero_padded_paths_sort_in_device_order(self, tmp_path):
         paths = [stream.spool_path(tmp_path, d) for d in (0, 2, 10, 1)]
